@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `package app
+
+type PS struct{}
+
+func (*PS) Push(int)       {}
+func (*PS) Pop()           {}
+func (*PS) Resuming() bool { return false }
+func (*PS) Resume() int    { return 0 }
+
+type Rank struct{}
+
+func (*Rank) PS() *PS              { return nil }
+func (*Rank) Register(string, any) {}
+func (*Rank) Unregister()          {}
+func (*Rank) PotentialCheckpoint() {}
+
+func step(r *Rank) {
+	r.PotentialCheckpoint()
+}
+`
+
+const callerSrc = `package app
+
+func driver(r *Rank) {
+	step(r)
+}
+`
+
+func TestRunSingleFileToOutput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "app.go")
+	out := filepath.Join(dir, "out.go")
+	if err := os.WriteFile(in, []byte(sampleSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{in}, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "ccift_l1") {
+		t.Fatalf("output not instrumented:\n%s", got)
+	}
+}
+
+func TestRunPackageToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.go")
+	b := filepath.Join(dir, "b.go")
+	outDir := filepath.Join(dir, "out")
+	if err := os.WriteFile(a, []byte(sampleSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(callerSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{a, b}, "", outDir); err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := os.ReadFile(filepath.Join(outDir, "b.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cross-file fixed point: driver in b.go calls a checkpointable
+	// function defined in a.go, so it must be instrumented too.
+	if !strings.Contains(string(gotB), "ccift_l1") {
+		t.Fatalf("driver not instrumented:\n%s", gotB)
+	}
+}
+
+func TestRunRejectsOutputFlagWithMultipleInputs(t *testing.T) {
+	if err := run([]string{"a.go", "b.go"}, "out.go", ""); err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.go")}, "", ""); err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestRunTransformErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.go")
+	bad := strings.Replace(sampleSrc, "func step(r *Rank) {\n\tr.PotentialCheckpoint()\n}",
+		`func step(r *Rank) {
+	for i := 0; i < 3; i++ {
+		r.PotentialCheckpoint()
+	}
+}`, 1)
+	if err := os.WriteFile(in, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{in}, "", t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "init clause") {
+		t.Fatalf("err = %v, want init-clause diagnostic", err)
+	}
+}

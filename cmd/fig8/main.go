@@ -1,0 +1,86 @@
+// Command fig8 regenerates the paper's evaluation (Section 6, Figure 8):
+// for each benchmark — dense Conjugate Gradient, the Laplace solver, and
+// Neurosys — it runs all four program versions (unmodified, piggybacking
+// only, protocol without application state, full checkpoints) at several
+// problem sizes and prints the runtime comparison the paper charts,
+// followed by the qualitative "shape" verdicts from the Section 6.2
+// discussion.
+//
+// Usage:
+//
+//	fig8                    # all three charts at quick scale
+//	fig8 -app cg            # one chart
+//	fig8 -scale paper       # the paper's problem-size regime (slow)
+//	fig8 -ranks 16 -repeats 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccift/internal/harness"
+)
+
+func main() {
+	app := flag.String("app", "all", "benchmark: cg, laplace, neurosys, or all")
+	ranks := flag.Int("ranks", 8, "number of ranks (the paper used 16)")
+	repeats := flag.Int("repeats", 3, "repetitions per cell; the best run is reported")
+	scaleName := flag.String("scale", "quick", "problem scale: quick or paper")
+	verdicts := flag.Bool("verdicts", true, "print Section 6.2 shape verdicts")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "quick":
+		scale = harness.Quick
+	case "paper":
+		scale = harness.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "fig8: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var exps []harness.Experiment
+	switch *app {
+	case "all":
+		exps = harness.Experiments(*ranks, scale)
+	case "cg":
+		exps = []harness.Experiment{harness.CGExperiment(*ranks, scale)}
+	case "laplace":
+		exps = []harness.Experiment{harness.LaplaceExperiment(*ranks, scale)}
+	case "neurosys":
+		exps = []harness.Experiment{harness.NeurosysExperiment(*ranks, scale)}
+	default:
+		fmt.Fprintf(os.Stderr, "fig8: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, e := range exps {
+		e.Repeats = *repeats
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig8: %s: %v\n", e.App, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+		if err := table.ChecksumsAgree(); err != nil {
+			fmt.Fprintf(os.Stderr, "fig8: CHECKSUM MISMATCH: %v\n", err)
+			failed = true
+		}
+		if *verdicts {
+			vs := table.Verdicts()
+			fmt.Print(harness.RenderVerdicts(vs))
+			for _, v := range vs {
+				if !v.Pass {
+					failed = true
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

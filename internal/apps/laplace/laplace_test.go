@@ -1,0 +1,75 @@
+package laplace
+
+import (
+	"reflect"
+	"testing"
+
+	"ccift/internal/engine"
+	"ccift/internal/protocol"
+)
+
+func run(t *testing.T, cfg engine.Config, p Params) []any {
+	t.Helper()
+	res, err := engine.Run(cfg, Program(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Values
+}
+
+func TestLaplaceRanksAgree(t *testing.T) {
+	p := Params{N: 32, Iters: 30}
+	vals := run(t, engine.Config{Ranks: 4, Mode: protocol.Unmodified}, p)
+	for i, v := range vals {
+		if v != vals[0] {
+			t.Fatalf("rank %d checksum %v != %v", i, v, vals[0])
+		}
+	}
+}
+
+func TestLaplaceRankCountInvariance(t *testing.T) {
+	p := Params{N: 32, Iters: 25}
+	a := run(t, engine.Config{Ranks: 1, Mode: protocol.Unmodified}, p)[0]
+	b := run(t, engine.Config{Ranks: 4, Mode: protocol.Unmodified}, p)[0]
+	if a != b {
+		t.Fatalf("checksum differs across rank counts: %v vs %v", a, b)
+	}
+}
+
+func TestLaplaceHeatPropagates(t *testing.T) {
+	// With the hot top edge, the checksum should move as iterations grow:
+	// the solver is actually doing something.
+	p1 := run(t, engine.Config{Ranks: 2, Mode: protocol.Unmodified}, Params{N: 16, Iters: 5})[0]
+	p2 := run(t, engine.Config{Ranks: 2, Mode: protocol.Unmodified}, Params{N: 16, Iters: 50})[0]
+	if p1 == p2 {
+		t.Fatalf("checksum did not change between 5 and 50 iterations (%v)", p1)
+	}
+}
+
+func TestLaplaceModesAgree(t *testing.T) {
+	p := Params{N: 32, Iters: 20}
+	ref := run(t, engine.Config{Ranks: 4, Mode: protocol.Unmodified}, p)
+	for _, mode := range []protocol.Mode{protocol.PiggybackOnly, protocol.NoAppState, protocol.Full} {
+		got := run(t, engine.Config{Ranks: 4, Mode: mode, EveryN: 6}, p)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%v: %v != %v", mode, got, ref)
+		}
+	}
+}
+
+func TestLaplaceRecovery(t *testing.T) {
+	// The halo exchange uses Irecv/Isend/Wait; failures land between
+	// posting and completion, exercising request pseudo-handle recovery.
+	p := Params{N: 32, Iters: 20}
+	ref := run(t, engine.Config{Ranks: 4, Mode: protocol.Unmodified}, p)
+	for _, atOp := range []int64{13, 27, 44, 61, 88} {
+		cfg := engine.Config{
+			Ranks: 4, Mode: protocol.Full, EveryN: 4, Debug: true,
+			Failures: []engine.Failure{{Rank: int(atOp % 4), AtOp: atOp, Incarnation: 0}},
+		}
+		got := run(t, cfg, p)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("atOp=%d: %v != %v", atOp, got, ref)
+		}
+	}
+}

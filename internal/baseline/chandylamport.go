@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"fmt"
+
+	"ccift/internal/mpi"
+)
+
+// CL is one process's view of the Chandy-Lamport distributed snapshot
+// protocol [4]. It exists to make the paper's Section 3 arguments
+// executable:
+//
+//   - Under the protocol's own assumptions — state may be recorded at any
+//     instant (system-level state saving) and channels are FIFO as observed
+//     by the process — the snapshot is consistent. RecvOrdered models that
+//     observation discipline: messages and markers are consumed strictly in
+//     arrival order.
+//
+//   - MPI applications receive by tag (Section 3.3): RecvTag lets the
+//     application pull a data message past a marker still sitting in the
+//     mailbox, which silently turns the message into an unrecorded early
+//     message. The snapshot is then inconsistent, and CL counts it.
+//
+//   - Application-level state saving cannot record state at marker arrival
+//     (Section 3.1): with DeferSnapshots set, the state recording waits for
+//     the next PotentialCheckpoint call, and every message consumed in
+//     between that was sent after its sender's snapshot is again an
+//     unrecorded early message.
+//
+// Every data message carries a one-byte header flagging whether its sender
+// had already recorded its snapshot at send time; that is the ground truth
+// the consistency counters compare against. The header is CL bookkeeping,
+// not part of the recorded channel state.
+type CL struct {
+	comm *mpi.Comm
+
+	// DeferSnapshots models application-level state saving: a marker does
+	// not record state immediately; the recording happens at the next
+	// PotentialCheckpoint call.
+	DeferSnapshots bool
+
+	// Recorded is this process's snapshot state, nil until recorded.
+	Recorded []byte
+	// ChannelState holds, per sending rank, the messages recorded as
+	// in-channel: received after this process's snapshot but before the
+	// marker on that channel.
+	ChannelState [][][]byte
+
+	// EarlyReceives counts consistency violations: messages consumed by the
+	// application that were sent after the sender's snapshot but received
+	// before this receiver's snapshot. A correct Chandy-Lamport execution
+	// has zero.
+	EarlyReceives int
+
+	// StateFn produces the process state to record. In the system-level
+	// model it is called at an arbitrary instant (marker arrival).
+	StateFn func() []byte
+
+	snapshotPending bool
+	recording       []bool // per sender: between own snapshot and their marker
+	markersSeen     int
+	started         bool
+}
+
+// MarkerTag is the reserved tag of Chandy-Lamport marker tokens. It is an
+// application-level tag: markers travel through the same mailbox as data,
+// which is exactly what makes tag matching dangerous.
+const MarkerTag = 1 << 20
+
+const (
+	hdrPreSnapshot  = 0 // sent before the sender recorded its snapshot
+	hdrPostSnapshot = 1 // sent after
+)
+
+// NewCL builds the Chandy-Lamport layer for one rank.
+func NewCL(comm *mpi.Comm, stateFn func() []byte) *CL {
+	n := comm.Size()
+	return &CL{
+		comm:         comm,
+		StateFn:      stateFn,
+		ChannelState: make([][][]byte, n),
+		recording:    make([]bool, n),
+	}
+}
+
+// Send transmits a data message with the snapshot-flag header.
+func (c *CL) Send(dst, tag int, data []byte) {
+	hdr := byte(hdrPreSnapshot)
+	if c.Recorded != nil {
+		hdr = hdrPostSnapshot
+	}
+	c.comm.Send(dst, tag, append([]byte{hdr}, data...))
+}
+
+// StartSnapshot makes this process the snapshot initiator: record state,
+// then send markers on every outgoing channel.
+func (c *CL) StartSnapshot() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.takeOrDefer()
+}
+
+// takeOrDefer records the process state now (system-level model) or arms
+// the deferred recording (application-level model), then sends markers.
+func (c *CL) takeOrDefer() {
+	if c.DeferSnapshots {
+		c.snapshotPending = true
+	} else {
+		c.recordState()
+	}
+	// Markers go out immediately in either model; Chandy-Lamport requires
+	// them to precede any post-snapshot message on each channel.
+	for q := 0; q < c.comm.Size(); q++ {
+		if q != c.comm.Rank() {
+			c.comm.Send(q, MarkerTag, nil)
+		}
+	}
+}
+
+func (c *CL) recordState() {
+	c.Recorded = c.StateFn()
+	c.snapshotPending = false
+	for q := range c.recording {
+		c.recording[q] = q != c.comm.Rank()
+	}
+}
+
+// PotentialCheckpoint is the application-level state-saving opportunity:
+// with DeferSnapshots set, a pending marker-triggered snapshot is recorded
+// here — and only here.
+func (c *CL) PotentialCheckpoint() {
+	if c.snapshotPending {
+		c.recordState()
+	}
+}
+
+// Done reports whether this process has recorded its state and received a
+// marker from every other process, completing its part of the snapshot.
+func (c *CL) Done() bool {
+	return c.Recorded != nil && !c.snapshotPending && c.markersSeen == c.comm.Size()-1
+}
+
+// handleMarker processes a marker from src: first marker triggers (or
+// defers) the local snapshot; each marker closes its channel's recording.
+func (c *CL) handleMarker(src int) {
+	c.markersSeen++
+	if !c.started {
+		c.started = true
+		c.takeOrDefer()
+	}
+	c.recording[src] = false
+}
+
+// deliver applies snapshot bookkeeping to an application-bound message and
+// strips the header.
+func (c *CL) deliver(m *mpi.Message) *mpi.Message {
+	hdr, data := m.Data[0], m.Data[1:]
+	if hdr == hdrPostSnapshot && (c.Recorded == nil || c.snapshotPending) {
+		// Sent after the sender's snapshot, consumed before ours: the
+		// snapshot can no longer be consistent.
+		c.EarlyReceives++
+	}
+	if c.Recorded != nil && !c.snapshotPending && c.recording[m.Source] {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		c.ChannelState[m.Source] = append(c.ChannelState[m.Source], cp)
+	}
+	return &mpi.Message{Source: m.Source, Tag: m.Tag, Data: data}
+}
+
+// RecvOrdered consumes the next message in arrival order — the observation
+// discipline of a system-level snapshot layer sitting under the
+// application. Markers are handled internally; the first data message is
+// returned.
+func (c *CL) RecvOrdered() *mpi.Message {
+	for {
+		_, m := c.comm.Select([]mpi.RecvSpec{{Source: mpi.AnySource, Tag: mpi.AnyTag}})
+		if m.Tag == MarkerTag {
+			c.handleMarker(m.Source)
+			continue
+		}
+		return c.deliver(m)
+	}
+}
+
+// RecvTag consumes the next message with the given tag, regardless of what
+// else is queued ahead of it — MPI tag matching. A marker that is skipped
+// over stays in the mailbox unprocessed, which is how an application-level
+// snapshot goes wrong.
+func (c *CL) RecvTag(src, tag int) *mpi.Message {
+	if tag == MarkerTag {
+		panic(fmt.Sprintf("baseline: CL.RecvTag(%d) on the marker tag", tag))
+	}
+	m := c.comm.Recv(src, tag)
+	return c.deliver(m)
+}
+
+// DrainMarkers processes any markers still queued (used by tests to finish
+// the protocol after the application stopped receiving data).
+func (c *CL) DrainMarkers() {
+	for {
+		_, m := c.comm.PollSelect([]mpi.RecvSpec{{Source: mpi.AnySource, Tag: MarkerTag}})
+		if m == nil {
+			return
+		}
+		c.handleMarker(m.Source)
+	}
+}

@@ -1,0 +1,376 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The checkpoint codec. C3 copies raw bytes from the VDS/HOS descriptors
+// into the checkpoint file; the Go analogue is a compact little-endian
+// encoding with fast paths for the numeric kernels HPC codes checkpoint
+// ([]float64 grids and vectors, counters) and a gob fallback for arbitrary
+// structured data. The fast paths matter because checkpoint cost in
+// Figure 8 is dominated by moving application state, so the encoder must
+// run near memory bandwidth rather than at reflection speed.
+
+// Type tags for the encoding.
+const (
+	tagInt byte = iota + 1
+	tagInt64
+	tagUint64
+	tagFloat64
+	tagBool
+	tagString
+	tagBytes
+	tagFloat64Slice
+	tagIntSlice
+	tagInt64Slice
+	tagFloat64Matrix
+	tagGob
+)
+
+// Encode serializes the value pointed to by ptr.
+func Encode(ptr any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeTo(&buf, ptr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeTo serializes the value pointed to by ptr into w.
+func EncodeTo(buf *bytes.Buffer, ptr any) error {
+	switch p := ptr.(type) {
+	case *int:
+		buf.WriteByte(tagInt)
+		writeUint64(buf, uint64(*p))
+	case *int64:
+		buf.WriteByte(tagInt64)
+		writeUint64(buf, uint64(*p))
+	case *uint64:
+		buf.WriteByte(tagUint64)
+		writeUint64(buf, *p)
+	case *float64:
+		buf.WriteByte(tagFloat64)
+		writeUint64(buf, math.Float64bits(*p))
+	case *bool:
+		buf.WriteByte(tagBool)
+		if *p {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	case *string:
+		buf.WriteByte(tagString)
+		writeString(buf, *p)
+	case *[]byte:
+		buf.WriteByte(tagBytes)
+		writeBytes(buf, *p)
+	case *[]float64:
+		buf.WriteByte(tagFloat64Slice)
+		writeFloat64s(buf, *p)
+	case *[]int:
+		buf.WriteByte(tagIntSlice)
+		writeUvarint(buf, uint64(len(*p)))
+		for _, x := range *p {
+			writeUint64(buf, uint64(x))
+		}
+	case *[]int64:
+		buf.WriteByte(tagInt64Slice)
+		writeUvarint(buf, uint64(len(*p)))
+		for _, x := range *p {
+			writeUint64(buf, uint64(x))
+		}
+	case *[][]float64:
+		buf.WriteByte(tagFloat64Matrix)
+		writeUvarint(buf, uint64(len(*p)))
+		for _, row := range *p {
+			writeFloat64s(buf, row)
+		}
+	default:
+		buf.WriteByte(tagGob)
+		var gb bytes.Buffer
+		if err := gob.NewEncoder(&gb).Encode(ptr); err != nil {
+			return fmt.Errorf("ckpt: gob encode %T: %w", ptr, err)
+		}
+		writeBytes(buf, gb.Bytes())
+	}
+	return nil
+}
+
+// Decode deserializes raw (produced by Encode) into the value pointed to by
+// ptr. The dynamic type of ptr must match the one used at encode time.
+func Decode(raw []byte, ptr any) error {
+	rd := bytes.NewReader(raw)
+	return DecodeFrom(rd, ptr)
+}
+
+// DecodeFrom deserializes one value from rd into ptr.
+func DecodeFrom(rd *bytes.Reader, ptr any) error {
+	tag, err := rd.ReadByte()
+	if err != nil {
+		return err
+	}
+	mismatch := func(want byte) error {
+		return fmt.Errorf("ckpt: decode %T: tag %d, want %d", ptr, tag, want)
+	}
+	switch p := ptr.(type) {
+	case *int:
+		if tag != tagInt {
+			return mismatch(tagInt)
+		}
+		v, err := readUint64(rd)
+		if err != nil {
+			return err
+		}
+		*p = int(v)
+	case *int64:
+		if tag != tagInt64 {
+			return mismatch(tagInt64)
+		}
+		v, err := readUint64(rd)
+		if err != nil {
+			return err
+		}
+		*p = int64(v)
+	case *uint64:
+		if tag != tagUint64 {
+			return mismatch(tagUint64)
+		}
+		v, err := readUint64(rd)
+		if err != nil {
+			return err
+		}
+		*p = v
+	case *float64:
+		if tag != tagFloat64 {
+			return mismatch(tagFloat64)
+		}
+		v, err := readUint64(rd)
+		if err != nil {
+			return err
+		}
+		*p = math.Float64frombits(v)
+	case *bool:
+		if tag != tagBool {
+			return mismatch(tagBool)
+		}
+		b, err := rd.ReadByte()
+		if err != nil {
+			return err
+		}
+		*p = b != 0
+	case *string:
+		if tag != tagString {
+			return mismatch(tagString)
+		}
+		s, err := readString(rd)
+		if err != nil {
+			return err
+		}
+		*p = s
+	case *[]byte:
+		if tag != tagBytes {
+			return mismatch(tagBytes)
+		}
+		b, err := readBytes(rd)
+		if err != nil {
+			return err
+		}
+		*p = b
+	case *[]float64:
+		if tag != tagFloat64Slice {
+			return mismatch(tagFloat64Slice)
+		}
+		xs, err := readFloat64sInto(rd, *p)
+		if err != nil {
+			return err
+		}
+		*p = xs
+	case *[]int:
+		if tag != tagIntSlice {
+			return mismatch(tagIntSlice)
+		}
+		n, err := readUvarint(rd)
+		if err != nil {
+			return err
+		}
+		xs := resizeInts(*p, int(n))
+		for i := range xs {
+			v, err := readUint64(rd)
+			if err != nil {
+				return err
+			}
+			xs[i] = int(v)
+		}
+		*p = xs
+	case *[]int64:
+		if tag != tagInt64Slice {
+			return mismatch(tagInt64Slice)
+		}
+		n, err := readUvarint(rd)
+		if err != nil {
+			return err
+		}
+		xs := make([]int64, n)
+		for i := range xs {
+			v, err := readUint64(rd)
+			if err != nil {
+				return err
+			}
+			xs[i] = int64(v)
+		}
+		*p = xs
+	case *[][]float64:
+		if tag != tagFloat64Matrix {
+			return mismatch(tagFloat64Matrix)
+		}
+		n, err := readUvarint(rd)
+		if err != nil {
+			return err
+		}
+		rows := *p
+		if len(rows) != int(n) {
+			rows = make([][]float64, n)
+		}
+		for i := range rows {
+			rows[i], err = readFloat64sInto(rd, rows[i])
+			if err != nil {
+				return err
+			}
+		}
+		*p = rows
+	default:
+		if tag != tagGob {
+			return mismatch(tagGob)
+		}
+		b, err := readBytes(rd)
+		if err != nil {
+			return err
+		}
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(ptr); err != nil {
+			return fmt.Errorf("ckpt: gob decode %T: %w", ptr, err)
+		}
+	}
+	return nil
+}
+
+// --- primitive writers/readers ---
+
+func writeUint64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func readUint64(rd *bytes.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(rd, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	buf.Write(b[:n])
+}
+
+func readUvarint(rd *bytes.Reader) (uint64, error) {
+	return binary.ReadUvarint(rd)
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func readString(rd *bytes.Reader) (string, error) {
+	b, err := readBytes(rd)
+	return string(b), err
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+func readBytes(rd *bytes.Reader) ([]byte, error) {
+	n, err := readUvarint(rd)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(rd.Len()) {
+		return nil, fmt.Errorf("ckpt: truncated blob: need %d bytes, have %d", n, rd.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// floatChunk is the conversion batch for float64 slices: one Buffer.Write
+// (or ReadFull) per 1024 elements instead of per element, which keeps the
+// encoder near memory bandwidth — checkpoint cost in Figure 8 is dominated
+// by this path.
+const floatChunk = 1024
+
+func writeFloat64s(buf *bytes.Buffer, xs []float64) {
+	writeUvarint(buf, uint64(len(xs)))
+	buf.Grow(8 * len(xs))
+	var chunk [8 * floatChunk]byte
+	for off := 0; off < len(xs); {
+		n := len(xs) - off
+		if n > floatChunk {
+			n = floatChunk
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(xs[off+i]))
+		}
+		buf.Write(chunk[:8*n])
+		off += n
+	}
+}
+
+func readFloat64sInto(rd *bytes.Reader, dst []float64) ([]float64, error) {
+	n, err := readUvarint(rd)
+	if err != nil {
+		return nil, err
+	}
+	if 8*n > uint64(rd.Len()) {
+		return nil, fmt.Errorf("ckpt: truncated float64 slice: need %d bytes, have %d", 8*n, rd.Len())
+	}
+	if uint64(cap(dst)) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
+	var chunk [8 * floatChunk]byte
+	for off := 0; off < len(dst); {
+		c := len(dst) - off
+		if c > floatChunk {
+			c = floatChunk
+		}
+		if _, err := io.ReadFull(rd, chunk[:8*c]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			dst[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[8*i:]))
+		}
+		off += c
+	}
+	return dst, nil
+}
+
+func resizeInts(xs []int, n int) []int {
+	if cap(xs) >= n {
+		return xs[:n]
+	}
+	return make([]int, n)
+}

@@ -1,0 +1,139 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Heap is the checkpointer's own heap management system (Section 5.1.3).
+// C3 replaces malloc so that it can (a) enumerate live heap objects through
+// the Heap Object Structure (HOS) at checkpoint time and (b) recreate every
+// object at its original virtual address on restart, which keeps data
+// pointers valid without translation.
+//
+// Go's garbage-collected heap cannot pin virtual addresses, so the Go
+// analogue of "same virtual address" is "same object identity": Alloc
+// returns a stable integer handle, Lookup(handle) returns the same block
+// before a checkpoint and after a restart, and instrumented code stores
+// handles (which the VDS checkpoints as ordinary integers) instead of raw
+// pointers. A valid handle in the original process designates the same
+// bytes in the recovered one — the property Section 5.1.4 needs.
+type Heap struct {
+	blocks map[int]*Block
+	nextID int
+	// live bytes, maintained incrementally for state-size accounting.
+	liveBytes int
+}
+
+// Block is one live heap object tracked by the HOS.
+type Block struct {
+	ID   int
+	Data []byte
+}
+
+// NewHeap returns an empty checkpointable heap.
+func NewHeap() *Heap {
+	return &Heap{blocks: make(map[int]*Block), nextID: 1}
+}
+
+// Alloc allocates a block of n zero bytes and registers it in the HOS.
+func (h *Heap) Alloc(n int) *Block {
+	b := &Block{ID: h.nextID, Data: make([]byte, n)}
+	h.nextID++
+	h.blocks[b.ID] = b
+	h.liveBytes += n
+	return b
+}
+
+// Free removes a block from the HOS. Freeing an unknown handle panics, as
+// double-free is a program bug.
+func (h *Heap) Free(id int) {
+	b, ok := h.blocks[id]
+	if !ok {
+		panic(fmt.Sprintf("ckpt: Heap.Free(%d): no such block", id))
+	}
+	h.liveBytes -= len(b.Data)
+	delete(h.blocks, id)
+}
+
+// Lookup returns the block with the given handle, or nil.
+func (h *Heap) Lookup(id int) *Block { return h.blocks[id] }
+
+// Live reports the number of live blocks.
+func (h *Heap) Live() int { return len(h.blocks) }
+
+// LiveBytes reports the total payload bytes of live blocks.
+func (h *Heap) LiveBytes() int { return h.liveBytes }
+
+// Snapshot serializes the HOS and all live blocks.
+func (h *Heap) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	writeUvarint(&buf, uint64(h.nextID))
+	ids := make([]int, 0, len(h.blocks))
+	for id := range h.blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	writeUvarint(&buf, uint64(len(ids)))
+	for _, id := range ids {
+		writeUvarint(&buf, uint64(id))
+		writeBytes(&buf, h.blocks[id].Data)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the heap contents with a snapshot; handles allocated
+// after the snapshot are discarded, exactly as a rollback requires.
+func (h *Heap) Restore(snapshot []byte) error {
+	rd := bytes.NewReader(snapshot)
+	next, err := readUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("ckpt: corrupt heap snapshot: %w", err)
+	}
+	n, err := readUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("ckpt: corrupt heap snapshot: %w", err)
+	}
+	blocks := make(map[int]*Block, n)
+	liveBytes := 0
+	for i := uint64(0); i < n; i++ {
+		id, err := readUvarint(rd)
+		if err != nil {
+			return fmt.Errorf("ckpt: corrupt heap snapshot: %w", err)
+		}
+		data, err := readBytes(rd)
+		if err != nil {
+			return fmt.Errorf("ckpt: corrupt heap snapshot: %w", err)
+		}
+		blocks[int(id)] = &Block{ID: int(id), Data: data}
+		liveBytes += len(data)
+	}
+	h.blocks = blocks
+	h.nextID = int(next)
+	h.liveBytes = liveBytes
+	return nil
+}
+
+// Realloc resizes a live block in place, preserving its handle and the
+// common prefix of its contents (C3's realloc analogue: the handle — the
+// "address" — survives).
+func (h *Heap) Realloc(id, n int) *Block {
+	b, ok := h.blocks[id]
+	if !ok {
+		panic(fmt.Sprintf("ckpt: Heap.Realloc(%d): no such block", id))
+	}
+	h.liveBytes += n - len(b.Data)
+	if n <= cap(b.Data) {
+		grown := b.Data[:n]
+		for i := len(b.Data); i < n; i++ {
+			grown[i] = 0
+		}
+		b.Data = grown
+		return b
+	}
+	next := make([]byte, n)
+	copy(next, b.Data)
+	b.Data = next
+	return b
+}

@@ -1,0 +1,84 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Saver bundles the three state-saving structures of Section 5.1 — the
+// Position Stack, the Variable Descriptor Stack, and the heap/HOS — and
+// serializes them as the application-state section of a local checkpoint.
+type Saver struct {
+	PS   *PositionStack
+	VDS  *VDS
+	Heap *Heap
+}
+
+// NewSaver returns a Saver with fresh, empty components.
+func NewSaver() *Saver {
+	return &Saver{PS: NewPositionStack(), VDS: NewVDS(), Heap: NewHeap()}
+}
+
+// Snapshot serializes position, variables and heap.
+func (s *Saver) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	trace := s.PS.Snapshot()
+	writeUvarint(&buf, uint64(len(trace)))
+	for _, l := range trace {
+		writeUvarint(&buf, uint64(l))
+	}
+	vds, err := s.VDS.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	writeBytes(&buf, vds)
+	heap, err := s.Heap.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	writeBytes(&buf, heap)
+	return buf.Bytes(), nil
+}
+
+// StateBytes estimates the size of the application state that a checkpoint
+// would currently save. Figure 8 annotates each problem size with this
+// number.
+func (s *Saver) StateBytes() (int, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return len(snap), nil
+}
+
+// StartRestore loads a snapshot and arms the PS resume cursor and the VDS
+// restore map; the heap is restored immediately (its handles must resolve
+// before the application re-executes).
+func (s *Saver) StartRestore(blob []byte) error {
+	rd := bytes.NewReader(blob)
+	n, err := readUvarint(rd)
+	if err != nil {
+		return fmt.Errorf("ckpt: corrupt state snapshot: %w", err)
+	}
+	trace := make([]int, n)
+	for i := range trace {
+		l, err := readUvarint(rd)
+		if err != nil {
+			return fmt.Errorf("ckpt: corrupt state snapshot: %w", err)
+		}
+		trace[i] = int(l)
+	}
+	s.PS.StartResume(trace)
+	vds, err := readBytes(rd)
+	if err != nil {
+		return fmt.Errorf("ckpt: corrupt state snapshot: %w", err)
+	}
+	if err := s.VDS.StartRestore(vds); err != nil {
+		return err
+	}
+	heap, err := readBytes(rd)
+	if err != nil {
+		return fmt.Errorf("ckpt: corrupt state snapshot: %w", err)
+	}
+	return s.Heap.Restore(heap)
+}

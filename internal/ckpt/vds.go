@@ -1,0 +1,193 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// VDS is the Variable Descriptor Stack (paper Figure 7). Instrumented code
+// pushes a descriptor for each variable as it enters scope and pops it as
+// it leaves; at checkpoint time the VDS tells the runtime which memory to
+// copy into the checkpoint, and on restart which memory to copy back.
+//
+// In C the descriptor is (address, size). In Go the descriptor is
+// (name, typed pointer); values are encoded with the codec in this package.
+// Names give positional independence: a restart re-registers the same
+// variables (the instrumented code re-executes the registrations) and each
+// registration immediately restores the saved value through the new
+// pointer.
+//
+// Beyond the paper's always-save-everything baseline, descriptors carry a
+// kind implementing the Section 7 state-exclusion optimizations: see
+// PushComputed and PushReplicated in exclude.go.
+type VDS struct {
+	entries []vdsEntry
+	index   map[string]int
+
+	// Primary marks the rank whose checkpoints carry replicated values
+	// (rank 0 by convention; set by the protocol layer).
+	Primary bool
+
+	// restore holds decoded records awaiting their re-registration after a
+	// restart; replicas holds the primary's replicated values, supplied by
+	// the recovery driver.
+	restore  map[string]restoreRec
+	replicas map[string][]byte
+}
+
+type vdsEntry struct {
+	name      string
+	ptr       any
+	kind      entryKind
+	recompute func() error
+}
+
+type restoreRec struct {
+	kind entryKind
+	data []byte
+}
+
+// NewVDS returns an empty variable descriptor stack.
+func NewVDS() *VDS {
+	return &VDS{index: make(map[string]int)}
+}
+
+// Push registers a variable whose full value is saved with every
+// checkpoint. ptr must be a pointer to a codec-supported value (see
+// Encode). If a restart is in progress and a saved value exists under
+// name, the value is immediately restored through ptr.
+//
+// Registering a name that is already live rebinds its pointer; this happens
+// when an instrumented function is called again and re-registers its
+// locals.
+func (v *VDS) Push(name string, ptr any) error {
+	if ptr == nil {
+		return fmt.Errorf("ckpt: VDS.Push(%q): nil pointer", name)
+	}
+	v.pushEntry(vdsEntry{name: name, ptr: ptr, kind: kindSaved})
+	if v.restore != nil {
+		if rec, ok := v.restore[name]; ok {
+			if rec.kind != kindSaved {
+				return fmt.Errorf("ckpt: restore %q: checkpoint kind %d, registered as saved", name, rec.kind)
+			}
+			if err := Decode(rec.data, ptr); err != nil {
+				return fmt.Errorf("ckpt: restore %q: %w", name, err)
+			}
+			delete(v.restore, name)
+		}
+	}
+	return nil
+}
+
+func (v *VDS) pushEntry(e vdsEntry) {
+	if i, ok := v.index[e.name]; ok {
+		v.entries[i] = e
+		return
+	}
+	v.index[e.name] = len(v.entries)
+	v.entries = append(v.entries, e)
+}
+
+// Pop removes the most recently pushed live variable (scope exit).
+func (v *VDS) Pop() {
+	if len(v.entries) == 0 {
+		panic("ckpt: VDS.Pop on empty stack")
+	}
+	last := v.entries[len(v.entries)-1]
+	delete(v.index, last.name)
+	v.entries = v.entries[:len(v.entries)-1]
+}
+
+// Len reports the number of live descriptors.
+func (v *VDS) Len() int { return len(v.entries) }
+
+// Snapshot encodes every live variable into a checkpoint section: full
+// values for saved entries (and replicated ones on the primary),
+// fingerprints for computed entries, markers for replicated entries
+// elsewhere.
+func (v *VDS) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	writeUvarint(&buf, uint64(len(v.entries)))
+	for _, e := range v.entries {
+		writeString(&buf, e.name)
+		buf.WriteByte(byte(e.kind))
+		switch e.kind {
+		case kindSaved:
+			raw, err := Encode(e.ptr)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: encode %q: %w", e.name, err)
+			}
+			writeBytes(&buf, raw)
+		case kindComputed:
+			sum, err := fingerprint(e.ptr)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: fingerprint %q: %w", e.name, err)
+			}
+			writeBytes(&buf, sum)
+		case kindReplicated:
+			if v.Primary {
+				raw, err := Encode(e.ptr)
+				if err != nil {
+					return nil, fmt.Errorf("ckpt: encode %q: %w", e.name, err)
+				}
+				writeBytes(&buf, raw)
+			} else {
+				writeBytes(&buf, nil)
+			}
+		default:
+			return nil, fmt.Errorf("ckpt: entry %q has invalid kind %d", e.name, e.kind)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// parseVDSSnapshot decodes the section produced by Snapshot.
+func parseVDSSnapshot(snapshot []byte) ([]restoreEntry, error) {
+	rd := bytes.NewReader(snapshot)
+	n, err := readUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: corrupt VDS snapshot: %w", err)
+	}
+	out := make([]restoreEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := readString(rd)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: corrupt VDS snapshot: %w", err)
+		}
+		kind, err := rd.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: corrupt VDS snapshot: %w", err)
+		}
+		data, err := readBytes(rd)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: corrupt VDS snapshot: %w", err)
+		}
+		out = append(out, restoreEntry{name: name, kind: entryKind(kind), data: data})
+	}
+	return out, nil
+}
+
+type restoreEntry struct {
+	name string
+	kind entryKind
+	data []byte
+}
+
+// StartRestore loads a snapshot produced by Snapshot and arms restoration:
+// subsequent Push/PushComputed/PushReplicated calls restore their
+// variable's saved value, recompute it, or fetch the distributed replica.
+func (v *VDS) StartRestore(snapshot []byte) error {
+	entries, err := parseVDSSnapshot(snapshot)
+	if err != nil {
+		return err
+	}
+	v.restore = make(map[string]restoreRec, len(entries))
+	for _, e := range entries {
+		v.restore[e.name] = restoreRec{kind: e.kind, data: e.data}
+	}
+	return nil
+}
+
+// PendingRestores reports how many saved variables have not yet been
+// re-registered. A fully resumed program should report zero.
+func (v *VDS) PendingRestores() int { return len(v.restore) }

@@ -1,0 +1,83 @@
+package detector
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCompleteness(t *testing.T) {
+	// A rank that stops heartbeating is eventually suspected.
+	d := New(3, 20*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !d.Suspected() {
+		if time.Now().After(deadline) {
+			t.Fatal("silent ranks never suspected")
+		}
+		d.Heartbeat(0)
+		d.Heartbeat(1) // rank 2 is silent
+		time.Sleep(time.Millisecond)
+	}
+	s := d.Suspects()
+	if len(s) != 1 || s[0] != 2 {
+		t.Fatalf("suspects = %v", s)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	// Ranks heartbeating faster than the timeout are never suspected.
+	d := New(2, 100*time.Millisecond)
+	end := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(end) {
+		d.Heartbeat(0)
+		d.Heartbeat(1)
+		if d.Suspected() {
+			t.Fatalf("false suspicion: %v", d.Suspects())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMonitorFiresOnDeath(t *testing.T) {
+	d := New(2, 30*time.Millisecond)
+	var dead atomic.Bool
+	fired := make(chan []int, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+
+	d.Monitor(5*time.Millisecond,
+		func(rank int) bool { return rank == 0 || !dead.Load() },
+		func(s []int) { fired <- s },
+		stop)
+
+	time.Sleep(50 * time.Millisecond) // both alive: no suspicion yet
+	select {
+	case s := <-fired:
+		t.Fatalf("premature suspicion: %v", s)
+	default:
+	}
+
+	dead.Store(true) // rank 1's runtime stops
+	select {
+	case s := <-fired:
+		if len(s) != 1 || s[0] != 1 {
+			t.Fatalf("suspects = %v", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("death never detected")
+	}
+}
+
+func TestMonitorStops(t *testing.T) {
+	d := New(1, time.Millisecond)
+	stop := make(chan struct{})
+	fired := make(chan []int, 1)
+	d.Monitor(time.Millisecond, func(int) bool { return true }, func(s []int) { fired <- s }, stop)
+	close(stop)
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case s := <-fired:
+		t.Fatalf("monitor fired after stop: %v", s)
+	default:
+	}
+}

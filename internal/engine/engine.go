@@ -1,0 +1,295 @@
+// Package engine runs MPI-style programs under the checkpointing protocol:
+// it spawns one goroutine per rank, injects stopping failures, plays the
+// role of the distributed failure detector, and drives rollback-restart
+// from the last committed global checkpoint.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccift/internal/ckpt"
+	"ccift/internal/detector"
+	"ccift/internal/mpi"
+	"ccift/internal/protocol"
+	"ccift/internal/storage"
+)
+
+// Program is the application entry point executed by every rank. It must
+// route all communication and non-determinism through the Rank, register
+// its recoverable state, and call PotentialCheckpoint at checkpointable
+// locations. On restart it is re-invoked with Restarting() true.
+type Program func(r *Rank) (any, error)
+
+// Failure schedules a stopping failure: the given rank dies at its AtOp-th
+// substrate operation of the given incarnation (incarnation 0 is the
+// initial run).
+type Failure struct {
+	Rank        int
+	AtOp        int64
+	Incarnation int
+}
+
+// Config configures a run.
+type Config struct {
+	// Ranks is the number of processes. Required.
+	Ranks int
+	// Mode selects the Figure-8 program version. Default Unmodified.
+	Mode protocol.Mode
+	// Store is the stable storage backing checkpoints. Default in-memory.
+	Store storage.Stable
+	// EveryN asks the initiator for a global checkpoint every N-th
+	// PotentialCheckpoint call on rank 0; Interval does the same on a wall
+	// clock (the paper used 30 s). Zero disables each trigger.
+	EveryN   int
+	Interval time.Duration
+	// Failures is the injected failure schedule.
+	Failures []Failure
+	// MaxRestarts bounds rollback attempts. Default 10.
+	MaxRestarts int
+	// ChaosSeed enables adversarial reordering of application messages.
+	ChaosSeed int64
+	ChaosAll  bool
+	// Seed is the base seed for per-rank application randomness. The
+	// incarnation number is mixed in, so un-logged randomness genuinely
+	// diverges across restarts (the protocol's event log is what keeps
+	// recovery consistent).
+	Seed int64
+	// Debug enables protocol assertions.
+	Debug bool
+	// Tracer, when non-nil, receives protocol events from every rank (see
+	// internal/trace for a recorder that renders space-time diagrams).
+	Tracer protocol.Tracer
+	// DetectorTimeout, when non-zero, routes failure detection through the
+	// heartbeat detector (internal/detector) instead of the default
+	// fail-stop self-report: a stopped rank is noticed only when its
+	// runtime's heartbeats go silent for this long, as on a real cluster.
+	DetectorTimeout time.Duration
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Values holds each rank's program return value.
+	Values []any
+	// Restarts is the number of rollback-restarts performed.
+	Restarts int
+	// RecoveredEpochs lists the epoch recovered from at each restart
+	// (-1 when no checkpoint was available and the program restarted from
+	// the beginning).
+	RecoveredEpochs []int
+	// Stats aggregates the protocol-layer statistics of the final
+	// incarnation, per rank.
+	Stats []protocol.Stats
+}
+
+// ErrTooManyRestarts is returned when the failure schedule exhausts
+// MaxRestarts.
+var ErrTooManyRestarts = errors.New("engine: too many restarts")
+
+// Run executes prog on cfg.Ranks ranks, rolling back and restarting from
+// the last committed global checkpoint whenever a rank stop-fails, until
+// the program completes on every rank.
+func Run(cfg Config, prog Program) (*Result, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("engine: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Store == nil {
+		cfg.Store = storage.NewMemory()
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 10
+	}
+	cs := storage.NewCheckpointStore(cfg.Store)
+	res := &Result{}
+
+	for incarnation := 0; ; incarnation++ {
+		if incarnation > cfg.MaxRestarts {
+			return nil, fmt.Errorf("%w (%d)", ErrTooManyRestarts, cfg.MaxRestarts)
+		}
+		epoch, haveCkpt, err := cs.Committed()
+		if err != nil {
+			return nil, err
+		}
+		if incarnation > 0 {
+			if haveCkpt && cfg.Mode != protocol.Full {
+				return nil, fmt.Errorf("engine: cannot recover from a checkpoint in mode %v", cfg.Mode)
+			}
+			rec := -1
+			if haveCkpt {
+				rec = epoch
+			}
+			res.RecoveredEpochs = append(res.RecoveredEpochs, rec)
+		}
+
+		// Gather every receiver's early-message ID sets and build each
+		// sender's suppression list (Section 4.2: "the senders of these
+		// early messages are informed of the messageIDs so that resending
+		// these messages can be suppressed").
+		suppress := make([][]uint32, cfg.Ranks)
+		var replicas map[string][]byte
+		restore := incarnation > 0 && haveCkpt
+		if restore {
+			for r := 0; r < cfg.Ranks; r++ {
+				ids, err := protocol.LoadEarlyIDs(cs, epoch, r)
+				if err != nil {
+					return nil, fmt.Errorf("engine: load early IDs of rank %d: %w", r, err)
+				}
+				for sender, set := range ids {
+					suppress[sender] = append(suppress[sender], set...)
+				}
+			}
+			// Distribute the primary's replicated values (Section 7's
+			// distributed-redundant-data optimization): only rank 0's
+			// checkpoint carries them, every other rank restores from this
+			// map.
+			primaryApp, err := protocol.LoadAppState(cs, epoch, 0)
+			if err != nil {
+				return nil, fmt.Errorf("engine: load primary app state: %w", err)
+			}
+			if len(primaryApp) > 0 {
+				replicas, err = ckpt.ExtractReplicated(primaryApp)
+				if err != nil {
+					return nil, fmt.Errorf("engine: extract replicated data: %w", err)
+				}
+			}
+		}
+
+		world := mpi.NewWorld(cfg.Ranks, mpi.Options{
+			ChaosSeed: cfg.ChaosSeed,
+			ChaosAll:  cfg.ChaosAll,
+			KillPlan:  killPlan(cfg.Failures, incarnation),
+		})
+
+		out := runIncarnation(cfg, cs, world, prog, incarnation, epoch, restore, suppress, replicas)
+		if out.failed {
+			res.Restarts++
+			continue
+		}
+		if out.err != nil {
+			return nil, out.err
+		}
+		res.Values = out.values
+		res.Stats = out.stats
+		return res, nil
+	}
+}
+
+type incarnationResult struct {
+	failed bool
+	err    error
+	values []any
+	stats  []protocol.Stats
+}
+
+func runIncarnation(cfg Config, cs *storage.CheckpointStore, world *mpi.World,
+	prog Program, incarnation, epoch int, restore bool, suppress [][]uint32,
+	replicas map[string][]byte) incarnationResult {
+
+	n := cfg.Ranks
+	values := make([]any, n)
+	errs := make([]error, n)
+	panics := make([]any, n)
+	stats := make([]protocol.Stats, n)
+	var finished atomic.Int64
+	var wg sync.WaitGroup
+
+	// Failure detection. With a timeout configured, a heartbeat detector
+	// watches each rank's (simulated) runtime and declares the world dead
+	// when one goes silent — the paper's assumed detection mechanism. The
+	// default is immediate self-report, which is the same outcome with a
+	// zero detection latency.
+	useDetector := cfg.DetectorTimeout > 0
+	var stopDetector chan struct{}
+	if useDetector {
+		stopDetector = make(chan struct{})
+		defer close(stopDetector)
+		d := detector.New(n, cfg.DetectorTimeout)
+		d.Monitor(cfg.DetectorTimeout/4,
+			func(rank int) bool { return !world.Killed(rank) },
+			func([]int) { world.Shutdown() },
+			stopDetector)
+	}
+
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r] = p
+					if p == mpi.ErrKilled && !useDetector {
+						// Default fail-stop self-report: the death is
+						// announced instantly and survivors unblock. With
+						// the heartbeat detector enabled, the dead rank
+						// stays silent and the detector raises the alarm
+						// after its timeout instead.
+						world.Shutdown()
+					}
+				}
+			}()
+			layer := protocol.NewLayer(world.Comm(r), protocol.Config{
+				Mode:     cfg.Mode,
+				Store:    cs,
+				EveryN:   cfg.EveryN,
+				Interval: cfg.Interval,
+				Debug:    cfg.Debug,
+				Tracer:   cfg.Tracer,
+			})
+			rank := newRank(layer, cfg.Seed, incarnation)
+			if restore {
+				app, err := layer.Restore(epoch, suppress[r])
+				if err != nil {
+					panic(fmt.Sprintf("engine: rank %d restore: %v", r, err))
+				}
+				layer.Saver.VDS.SetReplicas(replicas)
+				if err := layer.Saver.StartRestore(app); err != nil {
+					panic(fmt.Sprintf("engine: rank %d app restore: %v", r, err))
+				}
+				rank.restarting = true
+			}
+			v, err := prog(rank)
+			values[r], errs[r] = v, err
+			stats[r] = layer.Stats
+			layer.Finish()
+			finished.Add(1)
+			// Keep servicing protocol control traffic until every rank is
+			// done, so an in-flight global checkpoint does not stall on a
+			// rank that finished early.
+			for finished.Load() < int64(n) && !world.Dead() {
+				layer.ServiceControl()
+				stats[r] = layer.Stats
+				time.Sleep(20 * time.Microsecond)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < n; r++ {
+		switch panics[r] {
+		case nil:
+		case mpi.ErrKilled, mpi.ErrWorldDead:
+			return incarnationResult{failed: true}
+		default:
+			return incarnationResult{err: fmt.Errorf("engine: rank %d panicked: %v", r, panics[r])}
+		}
+	}
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			return incarnationResult{err: fmt.Errorf("engine: rank %d: %w", r, errs[r])}
+		}
+	}
+	return incarnationResult{values: values, stats: stats}
+}
+
+func killPlan(failures []Failure, incarnation int) map[int]int64 {
+	plan := map[int]int64{}
+	for _, f := range failures {
+		if f.Incarnation == incarnation {
+			plan[f.Rank] = f.AtOp
+		}
+	}
+	return plan
+}

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"math/rand"
+
+	"ccift/internal/ckpt"
+	"ccift/internal/mpi"
+	"ccift/internal/protocol"
+)
+
+// Rank is the application's view of one process: MPI-like communication
+// routed through the checkpointing protocol layer, plus the state-saving
+// hooks the CCIFT precompiler targets (variable registration, position
+// stack, heap) and a logged source of non-determinism.
+type Rank struct {
+	l          *protocol.Layer
+	restarting bool
+	rng        *rand.Rand
+}
+
+func newRank(l *protocol.Layer, seed int64, incarnation int) *Rank {
+	// Mix the incarnation into the seed: raw re-execution genuinely
+	// diverges, and only the protocol's event log makes recovery
+	// consistent — as on a real machine, where a restarted process sees
+	// fresh randomness.
+	s := seed ^ int64(l.Rank()+1)*0x1E3779B97F4A7C15 ^ int64(incarnation+1)*0x3F58476D1CE4E5B9
+	return &Rank{l: l, rng: rand.New(rand.NewSource(s))}
+}
+
+// Rank returns this process's rank in the world communicator.
+func (r *Rank) Rank() int { return r.l.Rank() }
+
+// Size returns the number of processes.
+func (r *Rank) Size() int { return r.l.Size() }
+
+// Epoch returns the current checkpoint epoch.
+func (r *Rank) Epoch() int { return r.l.Epoch() }
+
+// Restarting reports whether this incarnation resumed from a checkpoint.
+// Code guarded by !Restarting() is initialization that must not re-execute
+// on recovery (its effects are part of the restored state).
+func (r *Rank) Restarting() bool { return r.restarting }
+
+// Layer exposes the protocol layer (tests, harness).
+func (r *Rank) Layer() *protocol.Layer { return r.l }
+
+// --- point-to-point ---
+
+// Send sends data to dst with the given non-negative tag.
+func (r *Rank) Send(dst, tag int, data []byte) { r.l.Send(dst, tag, data) }
+
+// Recv receives a message matching (src, tag); src may be AnySource and
+// tag AnyTag.
+func (r *Rank) Recv(src, tag int) *protocol.AppMessage { return r.l.Recv(src, tag) }
+
+// Isend posts a non-blocking send, returning a pseudo-handle.
+func (r *Rank) Isend(dst, tag int, data []byte) protocol.Handle { return r.l.Isend(dst, tag, data) }
+
+// Irecv posts a non-blocking receive, returning a pseudo-handle.
+func (r *Rank) Irecv(src, tag int) protocol.Handle { return r.l.Irecv(src, tag) }
+
+// Wait completes a pseudo-handle, returning the message for receives.
+func (r *Rank) Wait(h protocol.Handle) *protocol.AppMessage { return r.l.Wait(h) }
+
+// Test checks a pseudo-handle without blocking.
+func (r *Rank) Test(h protocol.Handle) (*protocol.AppMessage, bool) { return r.l.Test(h) }
+
+// Waitall completes pseudo-handles in order.
+func (r *Rank) Waitall(hs []protocol.Handle) []*protocol.AppMessage { return r.l.Waitall(hs) }
+
+// SendF64 sends a float64 vector.
+func (r *Rank) SendF64(dst, tag int, xs []float64) { r.l.Send(dst, tag, mpi.F64Bytes(xs)) }
+
+// RecvF64 receives a float64 vector.
+func (r *Rank) RecvF64(src, tag int) []float64 { return mpi.BytesF64(r.l.Recv(src, tag).Data) }
+
+// --- collectives ---
+
+// Barrier synchronizes all ranks; on recovery a barrier that was executed
+// while logging is not re-executed (see protocol.Layer.Barrier).
+func (r *Rank) Barrier() { r.l.Barrier() }
+
+// AlignedBarrier is the paper's barrier treatment: all participants execute
+// it in the same epoch, with laggards checkpointing at the barrier site.
+// Only position-stack-instrumented programs (precompiler output) may use
+// it, because resume must land at the barrier itself.
+func (r *Rank) AlignedBarrier() { r.l.AlignedBarrier() }
+
+// Allreduce combines byte payloads across ranks.
+func (r *Rank) Allreduce(data []byte, op mpi.Op) []byte { return r.l.Allreduce(data, op) }
+
+// AllreduceF64 combines float64 vectors across ranks.
+func (r *Rank) AllreduceF64(xs []float64, op mpi.Op) []float64 {
+	return mpi.BytesF64(r.l.Allreduce(mpi.F64Bytes(xs), op))
+}
+
+// Allgather concatenates equal-sized payloads from all ranks.
+func (r *Rank) Allgather(data []byte) []byte { return r.l.Allgather(data) }
+
+// AllgatherF64 concatenates equal-length float64 vectors from all ranks.
+func (r *Rank) AllgatherF64(xs []float64) []float64 {
+	return mpi.BytesF64(r.l.Allgather(mpi.F64Bytes(xs)))
+}
+
+// Gather concatenates payloads at root (nil elsewhere).
+func (r *Rank) Gather(root int, data []byte) []byte { return r.l.Gather(root, data) }
+
+// GatherF64 concatenates float64 vectors at root (nil elsewhere).
+func (r *Rank) GatherF64(root int, xs []float64) []float64 {
+	out := r.l.Gather(root, mpi.F64Bytes(xs))
+	if out == nil {
+		return nil
+	}
+	return mpi.BytesF64(out)
+}
+
+// Bcast distributes root's payload.
+func (r *Rank) Bcast(root int, data []byte) []byte { return r.l.Bcast(root, data) }
+
+// Reduce combines payloads at root (nil elsewhere).
+func (r *Rank) Reduce(root int, data []byte, op mpi.Op) []byte { return r.l.Reduce(root, data, op) }
+
+// Scatter distributes root's payload in equal blocks.
+func (r *Rank) Scatter(root int, data []byte) []byte { return r.l.Scatter(root, data) }
+
+// Alltoall exchanges equal-sized blocks between all ranks.
+func (r *Rank) Alltoall(data []byte) []byte { return r.l.Alltoall(data) }
+
+// --- checkpointing hooks (what the precompiler inserts) ---
+
+// PotentialCheckpoint marks a program location where a local checkpoint may
+// be taken (the one annotation the paper requires from the programmer).
+func (r *Rank) PotentialCheckpoint() { r.l.PotentialCheckpoint() }
+
+// Register pushes a variable descriptor: ptr's value is saved with every
+// checkpoint and restored through ptr on restart. Names must be unique per
+// live scope.
+func (r *Rank) Register(name string, ptr any) {
+	if err := r.l.Saver.VDS.Push(name, ptr); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterComputed pushes a descriptor whose value is excluded from
+// checkpoints (Section 7's recomputation checkpointing): only a
+// fingerprint is saved, and on restart recompute must regenerate the
+// identical value — read-only data like CG's matrix block is the common
+// case, with the original initializer as the recomputation.
+func (r *Rank) RegisterComputed(name string, ptr any, recompute func() error) {
+	if err := r.l.Saver.VDS.PushComputed(name, ptr, recompute); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterReplicated pushes a descriptor for data every rank holds
+// identically (Section 7's distributed redundant data): only rank 0's
+// checkpoint carries the value; on restart the other ranks restore from
+// rank 0's copy.
+func (r *Rank) RegisterReplicated(name string, ptr any) {
+	if err := r.l.Saver.VDS.PushReplicated(name, ptr); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister pops the most recently registered variable (scope exit).
+func (r *Rank) Unregister() { r.l.Saver.VDS.Pop() }
+
+// PS returns the position stack for precompiler-instrumented code.
+func (r *Rank) PS() *ckpt.PositionStack { return r.l.Saver.PS }
+
+// Heap returns the checkpointable heap manager.
+func (r *Rank) Heap() *ckpt.Heap { return r.l.Saver.Heap }
+
+// StateBytes reports the serialized size of the currently registered
+// application state (the number Figure 8 annotates problem sizes with).
+func (r *Rank) StateBytes() int {
+	n, err := r.l.Saver.StateBytes()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// --- MPI library opaque objects ---
+
+// CommDup duplicates a communicator (collective); the pseudo-handle
+// survives recovery via call replay.
+func (r *Rank) CommDup(parent protocol.CommHandle) protocol.CommHandle { return r.l.CommDup(parent) }
+
+// CommSplit splits a communicator (collective).
+func (r *Rank) CommSplit(parent protocol.CommHandle, color, key int) protocol.CommHandle {
+	return r.l.CommSplit(parent, color, key)
+}
+
+// SubComm resolves a communicator pseudo-handle.
+func (r *Rank) SubComm(h protocol.CommHandle) *mpi.Comm { return r.l.SubComm(h) }
+
+// --- logged non-determinism ---
+
+// Random returns a uniform float64 in [0,1). The draw is logged while a
+// global checkpoint is in progress and replayed on recovery, so recovered
+// executions agree with the state other processes checkpointed.
+func (r *Rank) Random() float64 {
+	v := r.l.NondetUint64(func() uint64 { return uint64(r.rng.Int63()) })
+	return float64(v&((1<<53)-1)) / (1 << 53)
+}
+
+// RandomUint64 returns a logged uniform 64-bit value.
+func (r *Rank) RandomUint64() uint64 {
+	return r.l.NondetUint64(func() uint64 { return r.rng.Uint64() })
+}
+
+// Nondet routes an arbitrary non-deterministic decision through the
+// protocol's event log.
+func (r *Rank) Nondet(gen func() []byte) []byte { return r.l.NondetBytes(gen) }
+
+// Scan computes the inclusive prefix reduction across ranks 0..i.
+func (r *Rank) Scan(data []byte, op mpi.Op) []byte { return r.l.Scan(data, op) }
+
+// ScanF64 is Scan over a float64 vector.
+func (r *Rank) ScanF64(xs []float64, op mpi.Op) []float64 {
+	return mpi.BytesF64(r.l.Scan(mpi.F64Bytes(xs), op))
+}
+
+// Reducescatter combines per-rank blocks across all ranks and returns this
+// rank's block of the result.
+func (r *Rank) Reducescatter(data []byte, op mpi.Op) []byte { return r.l.Reducescatter(data, op) }
+
+// Sendrecv sends to dst and receives from src in one deadlock-free call.
+func (r *Rank) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) *protocol.AppMessage {
+	return r.l.Sendrecv(dst, sendTag, data, src, recvTag)
+}
+
+// Iprobe reports whether a message matching (src, tag) is available
+// without receiving it; src may be AnySource and tag AnyTag.
+func (r *Rank) Iprobe(src, tag int) (ok bool, msgSrc, msgTag int) { return r.l.Iprobe(src, tag) }

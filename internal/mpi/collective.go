@@ -1,0 +1,262 @@
+package mpi
+
+import "fmt"
+
+// Collective operations. As in the paper's benchmark codes (whose allReduce
+// and allGather are "implemented in terms of point-to-point messages along
+// a butterfly tree"), every collective here decomposes into point-to-point
+// messages on reserved internal tags. The checkpointing protocol layer sits
+// *above* this interface and never sees the internal messages — the
+// property Section 4.5 calls out as the reason collective handling stays
+// simple.
+
+// Op combines two equally-sized payloads for reductions: dst = dst ⊕ src.
+type Op interface {
+	Combine(dst, src []byte)
+}
+
+// internal collective tag space; far below any control tags the protocol
+// layer reserves.
+const collTagBase = -(1 << 30)
+
+func (c *Comm) collTag(seq int64, phase int) int {
+	return collTagBase - int(seq%65536)*64 - phase
+}
+
+// nextColl advances the per-communicator collective sequence number. All
+// ranks call collectives in the same order (an MPI requirement), so the
+// sequence numbers agree without communication.
+func (c *Comm) nextColl() int64 {
+	c.collSeq++
+	return c.collSeq
+}
+
+// Barrier blocks until every rank in the communicator has entered it
+// (dissemination algorithm, ⌈log2 n⌉ rounds).
+func (c *Comm) Barrier() {
+	c.world.enter(c.members[c.myIdx])
+	seq := c.nextColl()
+	n := c.Size()
+	me := c.myIdx
+	for k, round := 1, 0; k < n; k, round = k*2, round+1 {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		c.send(dst, c.collTag(seq, round), nil)
+		c.recvInternal(src, c.collTag(seq, round))
+	}
+}
+
+// Bcast distributes root's payload to every rank (binomial tree) and
+// returns it.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.world.enter(c.members[c.myIdx])
+	return c.bcast(root, data)
+}
+
+func (c *Comm) bcast(root int, data []byte) []byte {
+	seq := c.nextColl()
+	n := c.Size()
+	// Work in a rotated space where root is rank 0 (MPICH-style binomial).
+	vrank := (c.myIdx - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % n
+			m := c.recvInternal(parent, c.collTag(seq, 0))
+			data = m.Data
+			break
+		}
+		mask <<= 1
+	}
+	// mask is now the lowest set bit of vrank (or >= n for the root);
+	// relay to children at decreasing offsets.
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			dst := (vrank + mask + root) % n
+			c.send(dst, c.collTag(seq, 0), data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Reduce combines every rank's payload with op, leaving the result at root
+// (binomial tree). Non-roots return nil.
+func (c *Comm) Reduce(root int, data []byte, op Op) []byte {
+	c.world.enter(c.members[c.myIdx])
+	return c.reduce(root, data, op)
+}
+
+func (c *Comm) reduce(root int, data []byte, op Op) []byte {
+	seq := c.nextColl()
+	n := c.Size()
+	vrank := (c.myIdx - root + n) % n
+	acc := append([]byte(nil), data...)
+	for mask := 1; mask < n; mask *= 2 {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % n
+			c.send(parent, c.collTag(seq, bitIndex(mask)), acc)
+			return nil
+		}
+		if vrank+mask < n {
+			m := c.recvInternal(AnySource, c.collTag(seq, bitIndex(mask)))
+			if len(m.Data) != len(acc) {
+				panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(m.Data), len(acc)))
+			}
+			op.Combine(acc, m.Data)
+		}
+	}
+	return acc
+}
+
+// Allreduce combines every rank's payload with op and returns the combined
+// value on all ranks. For power-of-two communicators it uses recursive
+// doubling (the butterfly of the paper's CG code); otherwise it reduces to
+// rank 0 and broadcasts.
+func (c *Comm) Allreduce(data []byte, op Op) []byte {
+	c.world.enter(c.members[c.myIdx])
+	n := c.Size()
+	if n&(n-1) != 0 {
+		acc := c.reduce(0, data, op)
+		return c.bcast(0, acc)
+	}
+	seq := c.nextColl()
+	acc := append([]byte(nil), data...)
+	for mask, round := 1, 0; mask < n; mask, round = mask*2, round+1 {
+		partner := c.myIdx ^ mask
+		c.send(partner, c.collTag(seq, round), acc)
+		m := c.recvInternal(partner, c.collTag(seq, round))
+		if len(m.Data) != len(acc) {
+			panic(fmt.Sprintf("mpi: Allreduce length mismatch: %d vs %d", len(m.Data), len(acc)))
+		}
+		op.Combine(acc, m.Data)
+	}
+	return acc
+}
+
+// Gather concatenates every rank's equal-sized payload at root in rank
+// order. Non-roots return nil.
+func (c *Comm) Gather(root int, data []byte) []byte {
+	c.world.enter(c.members[c.myIdx])
+	return c.gather(root, data)
+}
+
+func (c *Comm) gather(root int, data []byte) []byte {
+	seq := c.nextColl()
+	n := c.Size()
+	if c.myIdx != root {
+		c.send(root, c.collTag(seq, 0), data)
+		return nil
+	}
+	out := make([]byte, len(data)*n)
+	copy(out[root*len(data):], data)
+	for i := 0; i < n-1; i++ {
+		m := c.recvInternal(AnySource, c.collTag(seq, 0))
+		if len(m.Data) != len(data) {
+			panic(fmt.Sprintf("mpi: Gather length mismatch: %d vs %d", len(m.Data), len(data)))
+		}
+		copy(out[m.Source*len(data):], m.Data)
+	}
+	return out
+}
+
+// Allgather concatenates every rank's equal-sized payload on all ranks in
+// rank order. Power-of-two communicators use recursive doubling (butterfly);
+// others gather to rank 0 and broadcast.
+func (c *Comm) Allgather(data []byte) []byte {
+	c.world.enter(c.members[c.myIdx])
+	n := c.Size()
+	if n&(n-1) != 0 {
+		out := c.gather(0, data)
+		return c.bcast(0, out)
+	}
+	seq := c.nextColl()
+	blk := len(data)
+	out := make([]byte, blk*n)
+	copy(out[c.myIdx*blk:], data)
+	// Recursive doubling: at the start of the round with offset mask, this
+	// rank owns the mask blocks of its aligned group [myIdx &^ (mask-1),
+	// +mask); exchanging groups with the partner doubles the holding.
+	for mask, round := 1, 0; mask < n; mask, round = mask*2, round+1 {
+		partner := c.myIdx ^ mask
+		myStart := c.myIdx &^ (mask - 1)
+		c.send(partner, c.collTag(seq, round), out[myStart*blk:(myStart+mask)*blk])
+		m := c.recvInternal(partner, c.collTag(seq, round))
+		theirStart := partner &^ (mask - 1)
+		if len(m.Data) != mask*blk {
+			panic(fmt.Sprintf("mpi: Allgather length mismatch: %d vs %d", len(m.Data), mask*blk))
+		}
+		copy(out[theirStart*blk:], m.Data)
+	}
+	return out
+}
+
+// Alltoall sends block i of this rank's payload to rank i and returns the
+// blocks received from every rank, in rank order. The payload must divide
+// evenly into Size() blocks.
+func (c *Comm) Alltoall(data []byte) []byte {
+	c.world.enter(c.members[c.myIdx])
+	seq := c.nextColl()
+	n := c.Size()
+	if len(data)%n != 0 {
+		panic(fmt.Sprintf("mpi: Alltoall payload %d not divisible by %d ranks", len(data), n))
+	}
+	blk := len(data) / n
+	out := make([]byte, len(data))
+	copy(out[c.myIdx*blk:], data[c.myIdx*blk:(c.myIdx+1)*blk])
+	for i := 1; i < n; i++ {
+		dst := (c.myIdx + i) % n
+		c.send(dst, c.collTag(seq, 0), data[dst*blk:(dst+1)*blk])
+	}
+	for i := 1; i < n; i++ {
+		m := c.recvInternal(AnySource, c.collTag(seq, 0))
+		if len(m.Data) != blk {
+			panic(fmt.Sprintf("mpi: Alltoall length mismatch: %d vs %d", len(m.Data), blk))
+		}
+		copy(out[m.Source*blk:], m.Data)
+	}
+	return out
+}
+
+// Scatter distributes root's payload in equal blocks: rank i receives block
+// i. The payload length at root must divide evenly into Size() blocks.
+func (c *Comm) Scatter(root int, data []byte) []byte {
+	c.world.enter(c.members[c.myIdx])
+	seq := c.nextColl()
+	n := c.Size()
+	if c.myIdx == root {
+		if len(data)%n != 0 {
+			panic(fmt.Sprintf("mpi: Scatter payload %d not divisible by %d ranks", len(data), n))
+		}
+		blk := len(data) / n
+		for i := 0; i < n; i++ {
+			if i == root {
+				continue
+			}
+			c.send(i, c.collTag(seq, 0), data[i*blk:(i+1)*blk])
+		}
+		return append([]byte(nil), data[root*blk:(root+1)*blk]...)
+	}
+	m := c.recvInternal(root, c.collTag(seq, 0))
+	return m.Data
+}
+
+// recvInternal is a receive that does not count as a user-visible substrate
+// operation (it is part of an already-counted collective).
+func (c *Comm) recvInternal(src, tag int) *Message {
+	if c.world.dead.Load() {
+		panic(ErrWorldDead)
+	}
+	_, m := c.box().await([]RecvSpec{{Source: src, Tag: tag, ctx: c.ctx}})
+	return m
+}
+
+func bitIndex(mask int) int {
+	i := 0
+	for mask > 1 {
+		mask >>= 1
+		i++
+	}
+	return i
+}

@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendrecvRingRotation(t *testing.T) {
+	// Classic ring rotation: everyone sends right and receives from the
+	// left in one combined call; no ordering discipline needed.
+	const n = 5
+	runRanks(t, n, Options{}, func(c *Comm) {
+		me := c.Rank()
+		payload := []byte{byte(me)}
+		m := c.Sendrecv((me+1)%n, 1, payload, (me-1+n)%n, 1)
+		if int(m.Data[0]) != (me-1+n)%n {
+			panic(fmt.Sprintf("rank %d got %d", me, m.Data[0]))
+		}
+	})
+}
+
+func TestSendrecvSelf(t *testing.T) {
+	runRanks(t, 2, Options{}, func(c *Comm) {
+		m := c.Sendrecv(c.Rank(), 3, []byte{42}, c.Rank(), 3)
+		if m.Data[0] != 42 {
+			panic("self sendrecv lost the payload")
+		}
+	})
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		results := make([]float64, n)
+		runRanks(t, n, Options{}, func(c *Comm) {
+			out := c.Scan(F64Bytes([]float64{float64(c.Rank() + 1)}), SumF64)
+			results[c.Rank()] = BytesF64(out)[0]
+		})
+		for r := 0; r < n; r++ {
+			want := float64((r + 1) * (r + 2) / 2) // 1+2+…+(r+1)
+			if results[r] != want {
+				t.Fatalf("n=%d rank %d: scan = %v, want %v", n, r, results[r], want)
+			}
+		}
+	}
+}
+
+func TestScanProperty(t *testing.T) {
+	// Scan at the last rank equals Allreduce for associative ops.
+	f := func(vals [4]int8) bool {
+		const n = 4
+		var lastScan, allred float64
+		w := NewWorld(n, Options{})
+		done := make(chan struct{}, n)
+		for r := 0; r < n; r++ {
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				c := w.Comm(r)
+				x := []float64{float64(vals[r])}
+				s := BytesF64(c.Scan(F64Bytes(x), SumF64))[0]
+				a := BytesF64(c.Allreduce(F64Bytes(x), SumF64))[0]
+				if r == n-1 {
+					lastScan, allred = s, a
+				}
+			}(r)
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		return lastScan == allred
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReducescatterBlocks(t *testing.T) {
+	const n = 4
+	results := make([][]float64, n)
+	runRanks(t, n, Options{}, func(c *Comm) {
+		// Rank r contributes blocks [r*10+0, r*10+1, r*10+2, r*10+3].
+		blocks := make([]float64, n)
+		for i := range blocks {
+			blocks[i] = float64(c.Rank()*10 + i)
+		}
+		out := c.Reducescatter(F64Bytes(blocks), SumF64)
+		results[c.Rank()] = BytesF64(out)
+	})
+	for r := 0; r < n; r++ {
+		// Rank r's block: sum over senders s of (s*10 + r).
+		want := 0.0
+		for s := 0; s < n; s++ {
+			want += float64(s*10 + r)
+		}
+		if len(results[r]) != 1 || results[r][0] != want {
+			t.Fatalf("rank %d: %v, want [%v]", r, results[r], want)
+		}
+	}
+}
+
+func TestReducescatterRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	w := NewWorld(2, Options{})
+	w.Comm(0).Reducescatter(make([]byte, 9), SumF64) // 9 % 2 != 0
+}
+
+func TestReducescatterMatchesReduceThenScatter(t *testing.T) {
+	// Property: Reducescatter ≡ Reduce at root followed by Scatter.
+	f := func(vals [3]uint8) bool {
+		const n = 3
+		ok := true
+		w := NewWorld(n, Options{})
+		done := make(chan struct{}, n)
+		for r := 0; r < n; r++ {
+			go func(r int) {
+				defer func() { done <- struct{}{} }()
+				c := w.Comm(r)
+				blocks := make([]float64, n)
+				for i := range blocks {
+					blocks[i] = float64(vals[r]) + float64(i)*0.5
+				}
+				rs := c.Reducescatter(F64Bytes(blocks), SumF64)
+				red := c.Reduce(0, F64Bytes(blocks), SumF64)
+				sc := c.Scatter(0, red)
+				if string(rs) != string(sc) {
+					ok = false
+				}
+			}(r)
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package mpi
+
+import "sync"
+
+// Message is an application-visible message as delivered by Recv or Wait.
+type Message struct {
+	// Source is the sender's rank within the receiving communicator.
+	Source int
+	// Tag is the application tag the message was sent with.
+	Tag int
+	// Data is the payload. The receiver owns it.
+	Data []byte
+
+	ctx int64 // communicator context the message belongs to
+	seq uint64
+}
+
+// RecvSpec describes what a receive is willing to match.
+type RecvSpec struct {
+	Source int // rank within the communicator, or AnySource
+	Tag    int // tag, or AnyTag
+	ctx    int64
+}
+
+func (s RecvSpec) matches(m *Message) bool {
+	if m.ctx != s.ctx {
+		return false
+	}
+	if s.Source != AnySource && s.Source != m.Source {
+		return false
+	}
+	if s.Tag != AnyTag && s.Tag != m.Tag {
+		return false
+	}
+	return true
+}
+
+// mailbox holds the arrived-but-unmatched messages of one rank. Matching
+// scans in arrival order (possibly perturbed by chaos insertion), so two
+// messages with the same (source, tag, ctx) are received in arrival order,
+// while tag matching lets the application receive messages out of order —
+// the non-FIFO property of Section 3.3.
+type mailbox struct {
+	world *World
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*Message
+	seq   uint64
+}
+
+func newMailbox(w *World) *mailbox {
+	b := &mailbox{world: w}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// deliver appends (or chaos-inserts) a message and wakes waiting receivers.
+func (b *mailbox) deliver(m *Message) {
+	b.mu.Lock()
+	b.seq++
+	m.seq = b.seq
+	if slot := b.world.chaosSlot(m, b.queue); slot >= 0 {
+		b.queue = append(b.queue, nil)
+		copy(b.queue[slot+1:], b.queue[slot:])
+		b.queue[slot] = m
+	} else {
+		b.queue = append(b.queue, m)
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// tryMatch removes and returns the first message matching any spec, along
+// with the index of the spec that matched.
+func (b *mailbox) tryMatch(specs []RecvSpec) (int, *Message) {
+	for qi, m := range b.queue {
+		for si, s := range specs {
+			if s.matches(m) {
+				b.queue = append(b.queue[:qi], b.queue[qi+1:]...)
+				return si, m
+			}
+		}
+	}
+	return -1, nil
+}
+
+// await blocks until a message matching one of specs arrives, removing and
+// returning it. It panics with ErrWorldDead if the world is shut down while
+// waiting.
+func (b *mailbox) await(specs []RecvSpec) (int, *Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.world.dead.Load() {
+			panic(ErrWorldDead)
+		}
+		if si, m := b.tryMatch(specs); m != nil {
+			return si, m
+		}
+		b.cond.Wait()
+	}
+}
+
+// poll attempts a non-blocking match.
+func (b *mailbox) poll(specs []RecvSpec) (int, *Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.world.dead.Load() {
+		panic(ErrWorldDead)
+	}
+	return b.tryMatch(specs)
+}
+
+// probe reports whether a matching message is queued, without removing it.
+func (b *mailbox) probe(spec RecvSpec) (bool, *Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.world.dead.Load() {
+		panic(ErrWorldDead)
+	}
+	for _, m := range b.queue {
+		if spec.matches(m) {
+			return true, m
+		}
+	}
+	return false, nil
+}
+
+// pending reports the number of queued messages (diagnostics/tests).
+func (b *mailbox) pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// pendingApp reports the number of queued application messages (tag >= 0)
+// in the given communicator context, excluding internal collective and
+// control traffic.
+func (b *mailbox) pendingApp(ctx int64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, m := range b.queue {
+		if m.ctx == ctx && m.Tag >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+// Package mpi is an in-process message-passing substrate with MPI-like
+// semantics: point-to-point sends and receives with tag and source
+// matching (including wildcards and therefore non-FIFO application-level
+// delivery, Section 3.3 of the paper), non-blocking operations with request
+// objects, communicators with dup/split, and collective operations
+// implemented in terms of point-to-point messages (butterfly/binomial
+// trees, as the paper's benchmark codes do).
+//
+// Ranks are goroutines sharing a World. The transport is reliable — the
+// paper assumes a reliable message-delivery layer (LA-MPI) and builds on
+// that abstraction — but processes may stop-fail at any operation, which is
+// the fault model under study.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Recv/Irecv/Probe.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Sentinel failures. These are delivered by panicking, because a stop
+// failure terminates the process at an arbitrary instruction, not at an
+// error-check boundary; the rank supervisor recovers them.
+var (
+	// ErrKilled is the panic value of a rank that hits an injected stop
+	// failure.
+	ErrKilled = errors.New("mpi: rank stop-failed")
+	// ErrWorldDead is the panic value raised in surviving ranks once the
+	// failure detector has declared the computation dead and a rollback is
+	// in progress.
+	ErrWorldDead = errors.New("mpi: world shut down")
+)
+
+// Options configure a World.
+type Options struct {
+	// ChaosSeed, when non-zero, enables adversarial reordering of
+	// application-level messages (tags >= 0): an arriving message may be
+	// inserted ahead of earlier undelivered messages. This models the
+	// application-level non-FIFO behaviour that MPI tag matching produces.
+	ChaosSeed int64
+	// ChaosAll extends reordering to negative (reserved/control) tags.
+	ChaosAll bool
+	// KillPlan maps rank -> operation index (1-based count of that rank's
+	// substrate operations) at which the rank stop-fails.
+	KillPlan map[int]int64
+}
+
+// World owns the mailboxes and failure state for one incarnation of the
+// computation. A rollback discards the World and builds a fresh one.
+type World struct {
+	size  int
+	boxes []*mailbox
+	opts  Options
+
+	dead    atomic.Bool
+	killed  []atomic.Bool
+	opCount []atomic.Int64
+
+	failMu   sync.Mutex
+	failures []int // ranks that stop-failed, in detection order
+
+	chaosMu sync.Mutex
+	chaos   *rand.Rand
+
+	ctxCounter atomic.Int64
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int, opts Options) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: NewWorld(%d): need at least one rank", n))
+	}
+	w := &World{
+		size:    n,
+		boxes:   make([]*mailbox, n),
+		opts:    opts,
+		killed:  make([]atomic.Bool, n),
+		opCount: make([]atomic.Int64, n),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox(w)
+	}
+	if opts.ChaosSeed != 0 {
+		w.chaos = rand.New(rand.NewSource(opts.ChaosSeed))
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns rank's handle on the world communicator.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: Comm(%d): out of range [0,%d)", rank, w.size))
+	}
+	members := make([]int, w.size)
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{world: w, ctx: 0, members: members, myIdx: rank}
+}
+
+// Killed reports whether rank has stop-failed (failure-detector plumbing:
+// a stopped process's runtime no longer heartbeats).
+func (w *World) Killed(rank int) bool { return w.killed[rank].Load() }
+
+// Kill marks rank as stop-failed; its next substrate operation panics with
+// ErrKilled. Messages already sent by the rank remain deliverable (they are
+// "in flight"); nothing more will be sent.
+func (w *World) Kill(rank int) { w.killed[rank].Store(true) }
+
+// Shutdown declares the incarnation dead: all blocked and future substrate
+// operations on every rank panic with ErrWorldDead. The rollback driver
+// calls this once the failure detector has fired.
+func (w *World) Shutdown() {
+	w.dead.Store(true)
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// Dead reports whether Shutdown has been called.
+func (w *World) Dead() bool { return w.dead.Load() }
+
+// Failures returns the ranks observed to have stop-failed so far.
+func (w *World) Failures() []int {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	out := make([]int, len(w.failures))
+	copy(out, w.failures)
+	return out
+}
+
+// OpCount reports how many substrate operations rank has executed; useful
+// for constructing kill plans from observed traces.
+func (w *World) OpCount(rank int) int64 { return w.opCount[rank].Load() }
+
+// enter is called at the top of every substrate operation executed by rank.
+// It advances the rank's operation counter and raises injected failures.
+func (w *World) enter(rank int) {
+	if w.dead.Load() {
+		panic(ErrWorldDead)
+	}
+	n := w.opCount[rank].Add(1)
+	if plan, ok := w.opts.KillPlan[rank]; ok && n == plan {
+		w.killed[rank].Store(true)
+	}
+	if w.killed[rank].Load() {
+		w.failMu.Lock()
+		w.failures = append(w.failures, rank)
+		w.failMu.Unlock()
+		panic(ErrKilled)
+	}
+}
+
+// chaosSlot returns a random insertion offset for adversarial reordering,
+// or -1 for normal (append) delivery. Reordering respects MPI's
+// non-overtaking guarantee: two messages from the same sender on the same
+// communicator are matched in send order, so an arriving message may only
+// be inserted ahead of undelivered messages from *other* senders (and only
+// within its own communicator context, since cross-communicator ordering
+// cannot be compared). What remains is exactly the network's legal
+// nondeterminism: the arrival interleaving across senders.
+func (w *World) chaosSlot(m *Message, queue []*Message) int {
+	if w.chaos == nil || len(queue) == 0 {
+		return -1
+	}
+	if m.Tag < 0 && !w.opts.ChaosAll {
+		return -1
+	}
+	// The message may land anywhere in the longest queue suffix consisting
+	// of same-context messages from other senders.
+	lo := len(queue)
+	for lo > 0 {
+		q := queue[lo-1]
+		if q.ctx != m.ctx || q.Source == m.Source {
+			break
+		}
+		lo--
+	}
+	if lo == len(queue) {
+		return -1
+	}
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	if w.chaos.Intn(2) == 0 {
+		return -1
+	}
+	return lo + w.chaos.Intn(len(queue)-lo)
+}

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Built-in reduction operators over packed little-endian payloads.
+
+type opFunc func(dst, src []byte)
+
+func (f opFunc) Combine(dst, src []byte) { f(dst, src) }
+
+func eachF64(dst, src []byte, f func(a, b float64) float64) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(f(a, b)))
+	}
+}
+
+func eachI64(dst, src []byte, f func(a, b int64) int64) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(dst[i:]))
+		b := int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], uint64(f(a, b)))
+	}
+}
+
+// SumF64 sums payloads interpreted as packed float64 vectors.
+var SumF64 Op = opFunc(func(dst, src []byte) {
+	eachF64(dst, src, func(a, b float64) float64 { return a + b })
+})
+
+// MaxF64 takes the elementwise maximum of packed float64 vectors.
+var MaxF64 Op = opFunc(func(dst, src []byte) {
+	eachF64(dst, src, math.Max)
+})
+
+// MinF64 takes the elementwise minimum of packed float64 vectors.
+var MinF64 Op = opFunc(func(dst, src []byte) {
+	eachF64(dst, src, math.Min)
+})
+
+// SumI64 sums payloads interpreted as packed int64 vectors.
+var SumI64 Op = opFunc(func(dst, src []byte) {
+	eachI64(dst, src, func(a, b int64) int64 { return a + b })
+})
+
+// MinI64 takes the elementwise minimum of packed int64 vectors.
+var MinI64 Op = opFunc(func(dst, src []byte) {
+	eachI64(dst, src, func(a, b int64) int64 {
+		if b < a {
+			return b
+		}
+		return a
+	})
+})
+
+// MaxI64 takes the elementwise maximum of packed int64 vectors.
+var MaxI64 Op = opFunc(func(dst, src []byte) {
+	eachI64(dst, src, func(a, b int64) int64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+})
+
+// BAnd is the bytewise AND; with 0/1 bytes it is a logical conjunction
+// (used by the protocol layer's amLogging exchange, Section 4.5).
+var BAnd Op = opFunc(func(dst, src []byte) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+})
+
+// BOr is the bytewise OR.
+var BOr Op = opFunc(func(dst, src []byte) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+})
+
+// F64Bytes packs a float64 slice into a little-endian payload.
+func F64Bytes(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// BytesF64 unpacks a little-endian payload into a float64 slice.
+func BytesF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// BytesF64Into unpacks into dst, which must have length len(b)/8.
+func BytesF64Into(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// F64BytesInto packs xs into dst, which must have length 8*len(xs).
+func F64BytesInto(dst []byte, xs []float64) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(x))
+	}
+}
+
+// I64Bytes packs an int64 slice into a little-endian payload.
+func I64Bytes(xs []int64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// BytesI64 unpacks a little-endian payload into an int64 slice.
+func BytesI64(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

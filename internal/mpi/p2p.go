@@ -1,0 +1,175 @@
+package mpi
+
+import "fmt"
+
+// Request is the handle of a non-blocking operation (MPI_Request). The
+// protocol layer wraps these in pseudo-handles so they can be reconstructed
+// after a restart (Section 5.2).
+type Request struct {
+	comm *Comm
+	// For receives: the posted spec. For sends: nil (the transport copies
+	// eagerly, so a send completes at post time, like a buffered send).
+	recv *RecvSpec
+	done bool
+	msg  *Message
+}
+
+// IsRecv reports whether the request was produced by Irecv.
+func (r *Request) IsRecv() bool { return r.recv != nil }
+
+// Spec returns the posted receive spec of an Irecv request.
+func (r *Request) Spec() (source, tag int) {
+	if r.recv == nil {
+		panic("mpi: Spec on a send request")
+	}
+	return r.recv.Source, r.recv.Tag
+}
+
+// Send delivers data to dst with the given tag. Delivery is reliable and
+// eager: the payload is copied into the destination mailbox before Send
+// returns (the transport has unbounded buffering, as the paper's reliable
+// delivery layer provides). Sends to stop-failed ranks vanish, which is
+// indistinguishable from the failed process never receiving them.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.world.enter(c.members[c.myIdx])
+	c.send(dst, tag, data)
+}
+
+// send is Send without the operation-counter entry hook; collectives use it
+// so that one collective counts as one operation for kill plans.
+func (c *Comm) send(dst, tag int, data []byte) {
+	wdst := c.worldRank(dst)
+	if c.world.killed[wdst].Load() {
+		return // stopping failure: the destination no longer receives
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.world.boxes[wdst].deliver(&Message{Source: c.myIdx, Tag: tag, Data: cp, ctx: c.ctx})
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// src may be AnySource and tag may be AnyTag.
+func (c *Comm) Recv(src, tag int) *Message {
+	c.world.enter(c.members[c.myIdx])
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) *Message {
+	_, m := c.box().await([]RecvSpec{{Source: src, Tag: tag, ctx: c.ctx}})
+	return m
+}
+
+// Isend posts a non-blocking send. Because the transport copies eagerly,
+// the returned request is already complete; Wait on it returns immediately
+// with a nil message, matching MPI's semantics that completion of a send
+// request only means the buffer is reusable.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.world.enter(c.members[c.myIdx])
+	c.send(dst, tag, data)
+	return &Request{comm: c, done: true}
+}
+
+// Irecv posts a non-blocking receive. Matching is performed lazily at
+// Wait/Test time, which preserves MPI's guarantee that the message is
+// matched against the posted spec.
+func (c *Comm) Irecv(src, tag int) *Request {
+	c.world.enter(c.members[c.myIdx])
+	return &Request{comm: c, recv: &RecvSpec{Source: src, Tag: tag, ctx: c.ctx}}
+}
+
+// Wait blocks until the request completes. For receives it returns the
+// delivered message; for sends it returns nil.
+func (c *Comm) Wait(r *Request) *Message {
+	c.world.enter(c.members[c.myIdx])
+	return c.wait(r)
+}
+
+func (c *Comm) wait(r *Request) *Message {
+	if r.done {
+		return r.msg
+	}
+	if r.recv == nil {
+		r.done = true
+		return nil
+	}
+	_, m := c.box().await([]RecvSpec{*r.recv})
+	r.done = true
+	r.msg = m
+	return m
+}
+
+// Test checks the request without blocking. ok reports completion.
+func (c *Comm) Test(r *Request) (*Message, bool) {
+	c.world.enter(c.members[c.myIdx])
+	if r.done {
+		return r.msg, true
+	}
+	if r.recv == nil {
+		r.done = true
+		return nil, true
+	}
+	if _, m := c.box().poll([]RecvSpec{*r.recv}); m != nil {
+		r.done = true
+		r.msg = m
+		return m, true
+	}
+	return nil, false
+}
+
+// Waitall completes every request, returning messages in request order
+// (nil entries for sends).
+func (c *Comm) Waitall(rs []*Request) []*Message {
+	out := make([]*Message, len(rs))
+	for i, r := range rs {
+		out[i] = c.Wait(r)
+	}
+	return out
+}
+
+// Iprobe reports whether a message matching (src, tag) is available,
+// without receiving it.
+func (c *Comm) Iprobe(src, tag int) (bool, *Message) {
+	c.world.enter(c.members[c.myIdx])
+	return c.box().probe(RecvSpec{Source: src, Tag: tag, ctx: c.ctx})
+}
+
+// Select blocks until a message matching any of the given (source, tag)
+// specs is available and receives it, returning the index of the matching
+// spec. The protocol layer uses this to wait for application messages and
+// control messages simultaneously.
+func (c *Comm) Select(specs []RecvSpec) (int, *Message) {
+	c.world.enter(c.members[c.myIdx])
+	withCtx := make([]RecvSpec, len(specs))
+	for i, s := range specs {
+		s.ctx = c.ctx
+		withCtx[i] = s
+	}
+	return c.box().await(withCtx)
+}
+
+// PollSelect is the non-blocking variant of Select; it returns (-1, nil)
+// when nothing matches.
+func (c *Comm) PollSelect(specs []RecvSpec) (int, *Message) {
+	c.world.enter(c.members[c.myIdx])
+	withCtx := make([]RecvSpec, len(specs))
+	for i, s := range specs {
+		s.ctx = c.ctx
+		withCtx[i] = s
+	}
+	return c.box().poll(withCtx)
+}
+
+// Pending reports the number of undelivered messages queued for this rank
+// across all communicators (diagnostics).
+func (c *Comm) Pending() int { return c.box().pending() }
+
+// PendingApp reports the number of undelivered application messages
+// (non-negative tags) queued for this rank on this communicator, excluding
+// internal collective and reserved-tag traffic.
+func (c *Comm) PendingApp() int { return c.box().pendingApp(c.ctx) }
+
+func (c *Comm) box() *mailbox { return c.world.boxes[c.members[c.myIdx]] }
+
+func (c *Comm) String() string {
+	return fmt.Sprintf("comm(ctx=%d rank=%d/%d)", c.ctx, c.myIdx, len(c.members))
+}

@@ -1,0 +1,220 @@
+package precompiler
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccift/internal/engine"
+	"ccift/internal/protocol"
+)
+
+// This file proves the emitted instrumentation pattern end to end: the
+// functions below are the precompiler's output for testdata/pipeline.input
+// (see TestPipelineGoldenMatchesIntegration), transcribed into compilable
+// test code. They place one checkpoint site mid-iteration — after a send
+// and a receive — and a second inside a callee, so recovery exercises the
+// Position Stack for real: resuming at the site must skip the already-
+// executed send (a naive loop-top restart would double-send and corrupt
+// the stream) and must rebuild the solver→step activation chain.
+
+func pipeline(r *engine.Rank, iters int) float64 {
+	var it int
+	var acc float64
+	var in []float64
+	var next int
+	var prev int
+	r.Register("pipeline.iters", &iters)
+	defer r.Unregister()
+	r.Register("pipeline.it", &it)
+	defer r.Unregister()
+	r.Register("pipeline.acc", &acc)
+	defer r.Unregister()
+	r.Register("pipeline.in", &in)
+	defer r.Unregister()
+	r.Register("pipeline.next", &next)
+	defer r.Unregister()
+	r.Register("pipeline.prev", &prev)
+	defer r.Unregister()
+	var ccift_target int
+	if r.PS().Resuming() {
+		ccift_target = r.PS().Resume()
+	}
+	switch ccift_target {
+	case 1, 2:
+		goto ccift_c1
+	}
+	next = (r.Rank() + 1) % r.Size()
+	prev = (r.Rank() - 1 + r.Size()) % r.Size()
+	acc = float64(r.Rank())
+ccift_c1:
+	for ; it < iters; it++ {
+		switch ccift_target {
+		case 1:
+			ccift_target = 0
+			goto ccift_l1
+		case 2:
+			ccift_target = 0
+			goto ccift_l2
+		}
+		r.SendF64(next, 1, []float64{acc})
+		in = r.RecvF64(prev, 1)
+		acc = acc*0.5 + in[0]*0.5
+		r.PS().Push(1)
+		r.PotentialCheckpoint()
+	ccift_l1:
+		r.PS().Pop()
+		r.PS().Push(2)
+	ccift_l2:
+		acc = step(r, acc)
+		r.PS().Pop()
+	}
+	return acc
+}
+
+func step(r *engine.Rank, x float64) float64 {
+	var y float64
+	r.Register("step.x", &x)
+	defer r.Unregister()
+	r.Register("step.y", &y)
+	defer r.Unregister()
+	var ccift_target int
+	if r.PS().Resuming() {
+		ccift_target = r.PS().Resume()
+	}
+	switch ccift_target {
+	case 1:
+		ccift_target = 0
+		goto ccift_l1
+	}
+	y = x*0.5 + 1
+	r.PS().Push(1)
+	r.PotentialCheckpoint()
+ccift_l1:
+	r.PS().Pop()
+	return y + 0.25
+}
+
+func pipelineProg(iters int) engine.Program {
+	return func(r *engine.Rank) (any, error) {
+		return pipeline(r, iters), nil
+	}
+}
+
+// TestInstrumentedPipelineRecovers sweeps stop failures across execution
+// points and ranks; every recovery must reproduce the failure-free result
+// bit for bit even though checkpoints land mid-iteration and mid-call.
+func TestInstrumentedPipelineRecovers(t *testing.T) {
+	const iters, ranks = 18, 3
+	ref, err := engine.Run(engine.Config{Ranks: ranks, Mode: protocol.Unmodified}, pipelineProg(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		for _, atOp := range []int64{9, 21, 35, 48, 62, 77, 90, 110} {
+			cfg := engine.Config{
+				Ranks: ranks, Mode: protocol.Full, EveryN: 3, Debug: true,
+				Failures: []engine.Failure{{Rank: rank, AtOp: atOp, Incarnation: 0}},
+			}
+			res, err := engine.Run(cfg, pipelineProg(iters))
+			if err != nil {
+				t.Fatalf("rank=%d atOp=%d: %v", rank, atOp, err)
+			}
+			if !reflect.DeepEqual(res.Values, ref.Values) {
+				t.Fatalf("rank=%d atOp=%d: values %v != ref %v", rank, atOp, res.Values, ref.Values)
+			}
+		}
+	}
+}
+
+// TestInstrumentedPipelineUnderChaos adds adversarial cross-sender
+// reordering on top of the failure sweep.
+func TestInstrumentedPipelineUnderChaos(t *testing.T) {
+	const iters, ranks = 15, 3
+	ref, err := engine.Run(engine.Config{Ranks: ranks, Mode: protocol.Unmodified}, pipelineProg(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := engine.Config{
+			Ranks: ranks, Mode: protocol.Full, EveryN: 4, Debug: true, ChaosSeed: seed,
+			Failures: []engine.Failure{{Rank: 1, AtOp: 60, Incarnation: 0}},
+		}
+		res, err := engine.Run(cfg, pipelineProg(iters))
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(res.Values, ref.Values) {
+			t.Fatalf("seed=%d: values %v != ref %v", seed, res.Values, ref.Values)
+		}
+	}
+}
+
+// TestPSDepthBalanced: after a complete run the position stack must be
+// empty — every Push paired with a Pop across all resume paths.
+func TestPSDepthBalanced(t *testing.T) {
+	prog := func(r *engine.Rank) (any, error) {
+		v := pipeline(r, 8)
+		if d := r.PS().Depth(); d != 0 {
+			t.Errorf("rank %d: PS depth %d after completion", r.Rank(), d)
+		}
+		return v, nil
+	}
+	cfg := engine.Config{
+		Ranks: 2, Mode: protocol.Full, EveryN: 3, Debug: true,
+		Failures: []engine.Failure{{Rank: 0, AtOp: 40, Incarnation: 0}},
+	}
+	if _, err := engine.Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineGoldenMatchesIntegration ties this file to the transformer:
+// the pipeline testdata input must transform cleanly and carry the same
+// resume-label structure as the hand-transcribed functions above.
+func TestPipelineGoldenMatchesIntegration(t *testing.T) {
+	src := `package app
+
+import "ccift/internal/engine"
+
+func pipeline(r *engine.Rank, iters int) float64 {
+	var it int
+	var acc float64
+	var in []float64
+	var next int
+	var prev int
+	next = (r.Rank() + 1) % r.Size()
+	prev = (r.Rank() - 1 + r.Size()) % r.Size()
+	acc = float64(r.Rank())
+	for ; it < iters; it++ {
+		r.SendF64(next, 1, []float64{acc})
+		in = r.RecvF64(prev, 1)
+		acc = acc*0.5 + in[0]*0.5
+		r.PotentialCheckpoint()
+		acc = step(r, acc)
+	}
+	return acc
+}
+
+func step(r *engine.Rank, x float64) float64 {
+	var y float64
+	y = x*0.5 + 1
+	r.PotentialCheckpoint()
+	return y + 0.25
+}
+`
+	out, err := TransformFile("pipeline.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ccift_c1:", "ccift_l1:", "ccift_l2:",
+		`r.Register("pipeline.acc", &acc)`,
+		`r.Register("step.y", &y)`,
+		"r.PS().Push(1)", "r.PS().Push(2)",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("transformed pipeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ccift/internal/mpi"
+	"ccift/internal/storage"
+)
+
+// Protocol-level integration tests: multi-rank goroutine scenarios driven
+// directly through Layer (no engine supervisor), covering the event log,
+// pseudo-handles, persistent-object replay, and full protocol rounds under
+// live traffic.
+
+// runLayers executes fn concurrently on freshly built layers and waits.
+func runLayers(t *testing.T, n int, mode Mode, fn func(l *Layer)) (*storage.CheckpointStore, []*Layer) {
+	t.Helper()
+	ls, cs, _ := newTestLayers(t, n, mode)
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for _, l := range ls {
+		wg.Add(1)
+		go func(l *Layer) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Sprintf("rank %d: %v", l.Rank(), p)
+				}
+			}()
+			fn(l)
+		}(l)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	return cs, ls
+}
+
+// TestFullRoundUnderTraffic drives two complete global checkpoints while
+// every rank continuously exchanges ring messages, then verifies commit,
+// log persistence, and count bookkeeping.
+func TestFullRoundUnderTraffic(t *testing.T) {
+	const n, iters = 4, 40
+	cs, ls := runLayers(t, n, Full, func(l *Layer) {
+		me := l.Rank()
+		next, prev := (me+1)%n, (me-1+n)%n
+		for it := 0; it < iters; it++ {
+			if me == 0 && (it == 5 || it == 25) {
+				l.RequestCheckpoint()
+			}
+			l.PotentialCheckpoint()
+			l.Send(next, 1, []byte{byte(it)})
+			m := l.Recv(prev, 1)
+			if m.Data[0] != byte(it) {
+				panic(fmt.Sprintf("iteration skew: got %d want %d", m.Data[0], it))
+			}
+		}
+		// Drive the protocol to completion.
+		for i := 0; i < 200; i++ {
+			l.ServiceControl()
+		}
+	})
+	e, ok, err := cs.Committed()
+	if err != nil || !ok || e < 1 {
+		t.Fatalf("committed = %d, %v, %v", e, ok, err)
+	}
+	for r, l := range ls {
+		if l.Epoch() < 1 {
+			t.Fatalf("rank %d stuck in epoch %d", r, l.Epoch())
+		}
+		if l.Stats.MessagesSent != iters {
+			t.Fatalf("rank %d sent %d messages", r, l.Stats.MessagesSent)
+		}
+	}
+	// Every rank's log for the committed epoch must be loadable.
+	for r := 0; r < n; r++ {
+		if _, err := cs.GetLog(e, r); err != nil {
+			t.Fatalf("rank %d log: %v", r, err)
+		}
+	}
+}
+
+// TestNondetEventLogAndReplay: values drawn through NondetUint64 while
+// logging are recorded, and a restored layer replays them in order before
+// generating fresh ones.
+func TestNondetEventLogAndReplay(t *testing.T) {
+	ls, cs, _ := newTestLayers(t, 2, Full)
+	P, Q := ls[0], ls[1]
+
+	P.RequestCheckpoint()
+	P.PotentialCheckpoint()
+	Q.PotentialCheckpoint()
+	if !P.Logging() {
+		t.Fatal("P should be logging")
+	}
+	var orig []uint64
+	for i := 0; i < 3; i++ {
+		orig = append(orig, P.NondetUint64(func() uint64 { return uint64(100 + i) }))
+	}
+	if P.Stats.EventsLogged != 3 {
+		t.Fatalf("EventsLogged = %d", P.Stats.EventsLogged)
+	}
+	pump(t, ls, cs, 1)
+
+	// Restore P; the same three draws must replay identically even though
+	// the generator now returns different values.
+	w2 := mpi.NewWorld(2, mpi.Options{})
+	P2 := NewLayer(w2.Comm(0), Config{Mode: Full, Store: cs, Debug: true})
+	if _, err := P2.Restore(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got := P2.NondetUint64(func() uint64 { return 999999 })
+		if got != orig[i] {
+			t.Fatalf("replayed draw %d = %d, want %d", i, got, orig[i])
+		}
+	}
+	// The log is exhausted: the next draw is live.
+	if got := P2.NondetUint64(func() uint64 { return 424242 }); got != 424242 {
+		t.Fatalf("post-replay draw = %d", got)
+	}
+}
+
+// TestNondetInactiveBypasses: in Unmodified mode the generator runs
+// directly.
+func TestNondetInactiveBypasses(t *testing.T) {
+	ls, _, _ := newTestLayers(t, 1, Unmodified)
+	if got := ls[0].NondetUint64(func() uint64 { return 7 }); got != 7 {
+		t.Fatalf("got %d", got)
+	}
+	if ls[0].Stats.EventsLogged != 0 {
+		t.Fatal("unmodified mode logged an event")
+	}
+}
+
+// TestCommDupSplitReplay: communicators created before a checkpoint are
+// reconstructed on restore by persistent-call replay, and the replayed
+// communicators carry the same membership.
+func TestCommDupSplitReplay(t *testing.T) {
+	const n = 4
+	handles := make([]CommHandle, n)
+	splits := make([]CommHandle, n)
+	ls, cs, _ := newTestLayers(t, n, Full)
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for _, l := range ls {
+		wg.Add(1)
+		go func(l *Layer) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Sprintf("rank %d: %v", l.Rank(), p)
+				}
+			}()
+			handles[l.Rank()] = l.CommDup(WorldComm)
+			// Even/odd split.
+			splits[l.Rank()] = l.CommSplit(WorldComm, l.Rank()%2, l.Rank())
+			if l.Rank() == 0 {
+				l.RequestCheckpoint()
+			}
+			// Repeated checkpoint opportunities until the global checkpoint
+			// commits: the request may arrive at any point relative to this
+			// rank's progress, so no fixed round count is safe.
+			for i := 0; i < 1_000_000; i++ {
+				l.PotentialCheckpoint()
+				l.ServiceControl()
+				if _, ok, _ := cs.Committed(); ok {
+					break
+				}
+			}
+			// Extra rounds so every rank's stoppedLogging drains.
+			for i := 0; i < 50; i++ {
+				l.ServiceControl()
+			}
+		}(l)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	e, ok, _ := cs.Committed()
+	if !ok {
+		t.Fatal("no commit")
+	}
+
+	// Restore all ranks in a fresh world; the pseudo-handles must resolve
+	// to working communicators with the original shapes.
+	w2 := mpi.NewWorld(n, mpi.Options{})
+	var wg2 sync.WaitGroup
+	fail := make(chan string, n)
+	for r := 0; r < n; r++ {
+		wg2.Add(1)
+		go func(r int) {
+			defer wg2.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					fail <- fmt.Sprintf("rank %d: %v", r, p)
+				}
+			}()
+			l := NewLayer(w2.Comm(r), Config{Mode: Full, Store: cs, Debug: true})
+			if _, err := l.Restore(e, nil); err != nil {
+				panic(err)
+			}
+			dup := l.SubComm(handles[r])
+			if dup.Size() != n || dup.Rank() != r {
+				panic(fmt.Sprintf("dup shape %d/%d", dup.Rank(), dup.Size()))
+			}
+			sub := l.SubComm(splits[r])
+			if sub.Size() != n/2 {
+				panic(fmt.Sprintf("split size %d", sub.Size()))
+			}
+			// The replayed split must actually work: reduce ranks within
+			// each half.
+			out := sub.Allreduce(mpi.F64Bytes([]float64{float64(r)}), mpi.SumF64)
+			sum := mpi.BytesF64(out)[0]
+			want := 0.0
+			for q := r % 2; q < n; q += 2 {
+				want += float64(q)
+			}
+			if sum != want {
+				panic(fmt.Sprintf("split allreduce = %v, want %v", sum, want))
+			}
+		}(r)
+	}
+	wg2.Wait()
+	select {
+	case e := <-fail:
+		t.Fatal(e)
+	default:
+	}
+}
+
+// TestRequestHandlesAcrossRestore: a pre-checkpoint Isend handle waits
+// instantly after restore; a pre-checkpoint Irecv handle re-matches.
+func TestRequestHandlesAcrossRestore(t *testing.T) {
+	ls, cs, _ := newTestLayers(t, 2, Full)
+	P, Q := ls[0], ls[1]
+
+	sendH := P.Isend(1, 1, []byte("posted-before-ckpt"))
+	recvH := Q.Irecv(0, 1)
+
+	P.RequestCheckpoint()
+	P.PotentialCheckpoint()
+	Q.PotentialCheckpoint()
+	// Q receives the message while logging: it is late, in Q's log.
+	if m := Q.Wait(recvH); string(m.Data) != "posted-before-ckpt" {
+		t.Fatalf("got %q", m.Data)
+	}
+	if P.Wait(sendH) != nil {
+		t.Fatal("send wait should return nil")
+	}
+	pump(t, ls, cs, 1)
+
+	// Restore: the request records were saved with the checkpoint (the
+	// handles were live at checkpoint time), and the logged late message
+	// satisfies the re-initialized Irecv pseudo-handle immediately.
+	w2 := mpi.NewWorld(2, mpi.Options{})
+	P2 := NewLayer(w2.Comm(0), Config{Mode: Full, Store: cs, Debug: true})
+	Q2 := NewLayer(w2.Comm(1), Config{Mode: Full, Store: cs, Debug: true})
+	if _, err := P2.Restore(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Q2.Restore(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m := Q2.Wait(recvH); string(m.Data) != "posted-before-ckpt" {
+		t.Fatalf("restored wait got %q", m.Data)
+	}
+	if P2.Wait(sendH) != nil {
+		t.Fatal("restored send wait should return nil")
+	}
+}
+
+// TestTestPollsWithoutBlocking covers the Test path: not-ready, then ready.
+func TestTestPollsWithoutBlocking(t *testing.T) {
+	ls, _, _ := newTestLayers(t, 2, Full)
+	P, Q := ls[0], ls[1]
+
+	h := Q.Irecv(0, 5)
+	if _, ok := Q.Test(h); ok {
+		t.Fatal("Test completed before any send")
+	}
+	P.Send(1, 5, []byte("now"))
+	m, ok := Q.Test(h)
+	if !ok || string(m.Data) != "now" {
+		t.Fatalf("Test: ok=%v m=%v", ok, m)
+	}
+	// Send-side handles complete instantly.
+	sh := P.Isend(1, 6, nil)
+	if _, ok := P.Test(sh); !ok {
+		t.Fatal("Isend handle should test complete")
+	}
+	Q.Recv(0, 6)
+}
+
+// TestCountConservation is a property over random ring schedules: after a
+// full protocol round, for every ordered pair the receiver's total receive
+// count equals the sender's send count — Figure 4's bookkeeping invariant.
+func TestCountConservation(t *testing.T) {
+	f := func(seedRaw uint8, itersRaw uint8) bool {
+		iters := int(itersRaw%20) + 10
+		// The request must land early enough that every rank reaches a
+		// PotentialCheckpoint after hearing it (ring skew is at most a
+		// couple of iterations); a request at the very end legitimately
+		// never commits — the program finished first.
+		ckptAt := int(seedRaw) % (iters - 5)
+		const n = 3
+		ok := true
+		cs, ls := runLayersQuiet(n, Full, func(l *Layer) {
+			me := l.Rank()
+			next, prev := (me+1)%n, (me-1+n)%n
+			for it := 0; it < iters; it++ {
+				if me == 0 && it == ckptAt {
+					l.RequestCheckpoint()
+				}
+				l.PotentialCheckpoint()
+				l.Send(next, 1, []byte{byte(it)})
+				l.Recv(prev, 1)
+			}
+			for i := 0; i < 200; i++ {
+				l.ServiceControl()
+			}
+		})
+		if _, committed, _ := cs.Committed(); !committed {
+			return false
+		}
+		for _, l := range ls {
+			if l.Stats.MessagesSent != int64(iters) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runLayersQuiet is runLayers without the testing.T plumbing, for
+// property functions.
+func runLayersQuiet(n int, mode Mode, fn func(l *Layer)) (*storage.CheckpointStore, []*Layer) {
+	w := mpi.NewWorld(n, mpi.Options{})
+	cs := storage.NewCheckpointStore(storage.NewMemory())
+	ls := make([]*Layer, n)
+	for r := 0; r < n; r++ {
+		ls[r] = NewLayer(w.Comm(r), Config{Mode: mode, Store: cs})
+	}
+	var wg sync.WaitGroup
+	for _, l := range ls {
+		wg.Add(1)
+		go func(l *Layer) {
+			defer wg.Done()
+			fn(l)
+		}(l)
+	}
+	wg.Wait()
+	return cs, ls
+}
+
+// TestOverlappingCheckpointRefused: the initiator must not start a second
+// global checkpoint while one is in progress (the paper's standing
+// assumption in Section 2).
+func TestOverlappingCheckpointRefused(t *testing.T) {
+	ls, _, _ := newTestLayers(t, 2, Full)
+	P := ls[0]
+	P.RequestCheckpoint()
+	if !P.CheckpointInProgress() {
+		t.Fatal("first request should start the protocol")
+	}
+	target := P.init.target
+	P.RequestCheckpoint() // must be a no-op
+	if P.init.target != target {
+		t.Fatal("second request changed the in-progress target")
+	}
+}
+
+// TestSendNegativeTagPanics: application tags must be non-negative (the
+// layer reserves negative tags for control traffic).
+func TestSendNegativeTagPanics(t *testing.T) {
+	ls, _, _ := newTestLayers(t, 2, Full)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ls[0].Send(1, -3, nil)
+}
+
+// TestRestoreMissingEpochFails: restoring an uncommitted epoch reports a
+// useful error instead of corrupting state.
+func TestRestoreMissingEpochFails(t *testing.T) {
+	ls, _, _ := newTestLayers(t, 1, Full)
+	if _, err := ls[0].Restore(9, nil); err == nil {
+		t.Fatal("restore of missing epoch succeeded")
+	}
+}
+
+// TestLogRoundTripThroughStore: finalized logs survive storage and parse
+// back with identical entries.
+func TestLogRoundTripThroughStore(t *testing.T) {
+	ls, cs, _ := newTestLayers(t, 2, Full)
+	P, Q := ls[0], ls[1]
+	P.RequestCheckpoint()
+	P.Send(1, 1, bytes.Repeat([]byte{7}, 100))
+	P.PotentialCheckpoint()
+	Q.PotentialCheckpoint()
+	Q.Recv(0, 1) // late: logged
+	pump(t, ls, cs, 1)
+
+	raw, err := cs.GetLog(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := UnmarshalLog(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Len() != 1 {
+		t.Fatalf("log has %d entries", lg.Len())
+	}
+}
+
+// TestIprobe: probing sees queued messages without consuming them,
+// including through replay (logged late messages report as available).
+func TestIprobe(t *testing.T) {
+	ls, cs, _ := newTestLayers(t, 2, Full)
+	P, Q := ls[0], ls[1]
+
+	if ok, _, _ := Q.Iprobe(mpi.AnySource, mpi.AnyTag); ok {
+		t.Fatal("probe matched on an empty mailbox")
+	}
+	P.Send(1, 9, []byte("queued"))
+	ok, src, tag := Q.Iprobe(mpi.AnySource, mpi.AnyTag)
+	if !ok || src != 0 || tag != 9 {
+		t.Fatalf("probe = %v %d %d", ok, src, tag)
+	}
+	// Still there: probes do not consume.
+	if m := Q.Recv(0, 9); string(m.Data) != "queued" {
+		t.Fatalf("recv after probe got %q", m.Data)
+	}
+
+	// Late-message probe across recovery: log a late message, restore, and
+	// probe before receiving.
+	P.Send(1, 7, []byte("late"))
+	P.RequestCheckpoint()
+	P.PotentialCheckpoint()
+	Q.PotentialCheckpoint()
+	Q.Recv(0, 7)
+	pump(t, ls, cs, 1)
+
+	w2 := mpi.NewWorld(2, mpi.Options{})
+	Q2 := NewLayer(w2.Comm(1), Config{Mode: Full, Store: cs, Debug: true})
+	if _, err := Q2.Restore(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	ok, src, tag = Q2.Iprobe(0, 7)
+	if !ok || src != 0 || tag != 7 {
+		t.Fatalf("replay probe = %v %d %d", ok, src, tag)
+	}
+	if m := Q2.Recv(0, 7); string(m.Data) != "late" {
+		t.Fatalf("replayed recv got %q", m.Data)
+	}
+}

@@ -1,0 +1,473 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ccift/internal/ckpt"
+	"ccift/internal/mpi"
+	"ccift/internal/storage"
+)
+
+// Mode selects how much of the system is active; the four modes are exactly
+// the four program versions measured in Figure 8.
+type Mode int
+
+const (
+	// Unmodified bypasses the protocol layer entirely (version 1).
+	Unmodified Mode = iota
+	// PiggybackOnly attaches piggybacks and control collectives but never
+	// takes checkpoints (version 2).
+	PiggybackOnly
+	// NoAppState runs the full protocol — logs, MPI library state, control
+	// traffic — but skips serializing application state (version 3).
+	NoAppState
+	// Full takes complete checkpoints (version 4).
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unmodified:
+		return "unmodified"
+	case PiggybackOnly:
+		return "piggyback-only"
+	case NoAppState:
+		return "no-app-state"
+	case Full:
+		return "full"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Control message tags (application tags must be non-negative).
+const (
+	tagPleaseCheckpoint = -11
+	tagMySendCount      = -12
+	tagReadyToStop      = -13
+	tagStopLogging      = -14
+	tagStoppedLogging   = -15
+)
+
+var controlSpecs = []mpi.RecvSpec{
+	{Source: mpi.AnySource, Tag: tagPleaseCheckpoint},
+	{Source: mpi.AnySource, Tag: tagMySendCount},
+	{Source: mpi.AnySource, Tag: tagReadyToStop},
+	{Source: mpi.AnySource, Tag: tagStopLogging},
+	{Source: mpi.AnySource, Tag: tagStoppedLogging},
+}
+
+// Config configures a protocol layer.
+type Config struct {
+	Mode  Mode
+	Store *storage.CheckpointStore
+	// EveryN makes the initiator (rank 0) request a global checkpoint
+	// every N-th PotentialCheckpoint call it executes. Zero disables.
+	EveryN int
+	// Interval makes the initiator request a global checkpoint whenever
+	// this much wall time has elapsed since the last request. Zero
+	// disables. (The paper uses a 30-second interval.)
+	Interval time.Duration
+	// Debug enables internal consistency assertions.
+	Debug bool
+	// Tracer, when non-nil, receives protocol events (see TraceEvent).
+	Tracer Tracer
+}
+
+// Stats counts protocol activity for the evaluation harness.
+type Stats struct {
+	MessagesSent       int64
+	BytesSent          int64
+	PiggybackBytes     int64
+	ControlMessages    int64
+	ControlCollectives int64
+	LateLogged         int64
+	EarlyRecorded      int64
+	EventsLogged       int64
+	LogBytes           int64
+	CheckpointsTaken   int64
+	CheckpointBytes    int64
+	SuppressedSends    int64
+	ReplayedLate       int64
+	ReplayedResults    int64
+}
+
+// AppMessage is a delivered application message (piggyback stripped).
+type AppMessage struct {
+	Source int
+	Tag    int
+	Data   []byte
+}
+
+// Layer is the per-process protocol layer. It is not safe for concurrent
+// use: each rank drives its own layer, mirroring a single-threaded MPI
+// process.
+type Layer struct {
+	comm *mpi.Comm
+	cfg  Config
+	rank int
+	size int
+
+	// Saver holds the application state (PS/VDS/heap) that a Full-mode
+	// checkpoint serializes.
+	Saver *ckpt.Saver
+
+	// Protocol variables of Figure 4.
+	epoch                int
+	amLogging            bool
+	nextMessageID        uint32
+	checkpointRequested  bool
+	requestedEpoch       int
+	sendCount            []int64
+	earlyIDs             [][]uint32
+	currentReceiveCount  []int64
+	previousReceiveCount []int64
+	totalSent            []int64 // -1 = unknown (⊥)
+
+	log      *Log
+	recvSeq  int64
+	collSeq  int64
+	eventSeq int64
+
+	// Recovery state.
+	replay          *Replay
+	suppress        map[uint32]bool
+	suppressPending int
+	restarted       bool
+
+	// MPI library state (Section 5.2).
+	handles *handleTable
+	persist []PersistRecord
+
+	// Initiator state (rank 0 only).
+	init *initiatorState
+
+	// Completion: once the application on this rank has finished, the
+	// layer only services control traffic.
+	finished bool
+
+	Stats          Stats
+	potentialCalls int64
+}
+
+type initiatorState struct {
+	inProgress bool
+	target     int
+	ready      int
+	stopped    int
+	lastStart  time.Time
+	sincePrev  int64 // PotentialCheckpoint calls since the last initiation
+}
+
+// NewLayer builds the protocol layer for one rank on the given world
+// communicator.
+func NewLayer(comm *mpi.Comm, cfg Config) *Layer {
+	n := comm.Size()
+	l := &Layer{
+		comm:                 comm,
+		cfg:                  cfg,
+		rank:                 comm.Rank(),
+		size:                 n,
+		Saver:                ckpt.NewSaver(),
+		sendCount:            make([]int64, n),
+		earlyIDs:             make([][]uint32, n),
+		currentReceiveCount:  make([]int64, n),
+		previousReceiveCount: make([]int64, n),
+		totalSent:            make([]int64, n),
+		log:                  NewLog(),
+		suppress:             map[uint32]bool{},
+		handles:              newHandleTable(),
+	}
+	for i := range l.totalSent {
+		l.totalSent[i] = -1
+	}
+	// Rank 0 carries the replicated-data copies (Section 7's distributed
+	// redundant data optimization) and plays the initiator.
+	l.Saver.VDS.Primary = l.rank == 0
+	if l.rank == 0 && cfg.Mode >= NoAppState {
+		l.init = &initiatorState{lastStart: time.Now()}
+	}
+	return l
+}
+
+// Rank returns this process's rank.
+func (l *Layer) Rank() int { return l.rank }
+
+// Size returns the number of processes.
+func (l *Layer) Size() int { return l.size }
+
+// Epoch returns the current epoch number (Section 2).
+func (l *Layer) Epoch() int { return l.epoch }
+
+// Logging reports whether the layer is currently logging (amLogging).
+func (l *Layer) Logging() bool { return l.amLogging }
+
+// Restarted reports whether this incarnation was restored from a
+// checkpoint.
+func (l *Layer) Restarted() bool { return l.restarted }
+
+// Comm exposes the underlying communicator (tests, baselines).
+func (l *Layer) Comm() *mpi.Comm { return l.comm }
+
+func (l *Layer) color() bool { return l.epoch%2 == 1 }
+
+func (l *Layer) active() bool { return l.cfg.Mode != Unmodified }
+
+// enterOp runs at the top of every protocol-layer call: it services
+// pending control messages and lets the initiator start a new global
+// checkpoint when its trigger fires.
+func (l *Layer) enterOp() {
+	if !l.active() {
+		return
+	}
+	l.drainControl()
+	if l.init != nil {
+		l.maybeInitiate(false)
+	}
+}
+
+// drainControl handles every queued control message.
+func (l *Layer) drainControl() {
+	for {
+		idx, m := l.comm.PollSelect(controlSpecs)
+		if m == nil {
+			return
+		}
+		l.handleControl(idx, m)
+	}
+}
+
+func (l *Layer) handleControl(specIdx int, m *mpi.Message) {
+	switch controlSpecs[specIdx].Tag {
+	case tagPleaseCheckpoint:
+		target := int(ctlU64(m.Data, 0))
+		if target > l.epoch && target > l.requestedEpoch {
+			l.checkpointRequested = true
+			l.requestedEpoch = target
+		}
+	case tagMySendCount:
+		epoch := int(ctlU64(m.Data, 0))
+		count := int64(ctlU64(m.Data, 1))
+		// The count describes the sender's previous epoch and is meant for
+		// our logging phase of checkpoint `epoch`. Accept it if we are in
+		// that epoch (logging) or one behind (we have not checkpointed
+		// yet); anything else is stale and impossible under the protocol's
+		// ordering guarantees.
+		if epoch == l.epoch || epoch == l.epoch+1 {
+			l.totalSent[m.Source] = count
+			if l.amLogging {
+				l.receivedAll()
+			}
+		} else if l.cfg.Debug {
+			panic(fmt.Sprintf("protocol: rank %d: stale mySendCount(epoch=%d) in epoch %d", l.rank, epoch, l.epoch))
+		}
+	case tagStopLogging:
+		epoch := int(ctlU64(m.Data, 0))
+		if epoch == l.epoch && l.amLogging {
+			l.finalizeLog()
+		}
+	case tagReadyToStop:
+		if l.init == nil {
+			panic("protocol: readyToStopLogging received by non-initiator")
+		}
+		if int(ctlU64(m.Data, 0)) == l.init.target && l.init.inProgress {
+			l.init.ready++
+			if l.init.ready == l.size {
+				// Phase 3: every process has taken its local checkpoint;
+				// no further message can be early, so logging may stop.
+				for q := 0; q < l.size; q++ {
+					l.sendCtl(q, tagStopLogging, uint64(l.init.target))
+				}
+			}
+		}
+	case tagStoppedLogging:
+		if l.init == nil {
+			panic("protocol: stoppedLogging received by non-initiator")
+		}
+		if int(ctlU64(m.Data, 0)) == l.init.target && l.init.inProgress {
+			l.init.stopped++
+			if l.init.stopped == l.size {
+				// Phase 4 completion: record the new global checkpoint as
+				// the one to use for recovery.
+				if err := l.cfg.Store.Commit(l.init.target); err != nil {
+					panic(fmt.Sprintf("protocol: commit checkpoint %d: %v", l.init.target, err))
+				}
+				l.trace(TraceCommit, -1, 0, 0, l.init.target)
+				l.init.inProgress = false
+			}
+		}
+	}
+}
+
+// maybeInitiate starts a new global checkpoint when the configured trigger
+// fires (or when forced). Only one global checkpoint may be in progress at
+// a time.
+func (l *Layer) maybeInitiate(force bool) {
+	if l.init == nil || l.init.inProgress {
+		return
+	}
+	fire := force
+	if !fire && l.cfg.EveryN > 0 && l.init.sincePrev >= int64(l.cfg.EveryN) {
+		fire = true
+	}
+	if !fire && l.cfg.Interval > 0 && time.Since(l.init.lastStart) >= l.cfg.Interval {
+		fire = true
+	}
+	if !fire {
+		return
+	}
+	l.init.inProgress = true
+	l.init.target = l.epoch + 1
+	l.init.ready = 0
+	l.init.stopped = 0
+	l.init.lastStart = time.Now()
+	l.init.sincePrev = 0
+	for q := 0; q < l.size; q++ {
+		l.sendCtl(q, tagPleaseCheckpoint, uint64(l.init.target))
+	}
+}
+
+// RequestCheckpoint forces the initiator to start a global checkpoint now
+// (rank 0 only); used by tests and the recovery demo driver.
+func (l *Layer) RequestCheckpoint() {
+	if l.init == nil {
+		panic("protocol: RequestCheckpoint on non-initiator rank")
+	}
+	l.maybeInitiate(true)
+}
+
+// CheckpointInProgress reports whether the initiator is mid-protocol.
+func (l *Layer) CheckpointInProgress() bool {
+	return l.init != nil && l.init.inProgress
+}
+
+func (l *Layer) sendCtl(dst, tag int, words ...uint64) {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	l.Stats.ControlMessages++
+	l.comm.Send(dst, tag, buf)
+}
+
+func ctlU64(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[8*i:])
+}
+
+// receivedAll implements receivedAll?() of Figure 4: once this process has
+// received every late message from the previous epoch, it tells the
+// initiator it is ready to stop logging.
+func (l *Layer) receivedAll() {
+	for p := 0; p < l.size; p++ {
+		if l.previousReceiveCount[p] != l.totalSent[p] {
+			if l.cfg.Debug && l.totalSent[p] >= 0 && l.previousReceiveCount[p] > l.totalSent[p] {
+				panic(fmt.Sprintf("protocol: rank %d received %d late/intra messages from %d but only %d were sent",
+					l.rank, l.previousReceiveCount[p], p, l.totalSent[p]))
+			}
+			return
+		}
+	}
+	l.sendCtl(0, tagReadyToStop, uint64(l.epoch))
+	for p := range l.totalSent {
+		l.totalSent[p] = -1
+	}
+}
+
+// finalizeLog implements finalizeLog() of Figure 4: write the log to stable
+// storage, stop logging, and notify the initiator.
+func (l *Layer) finalizeLog() {
+	blob := l.log.Marshal()
+	if err := l.cfg.Store.PutLog(l.epoch, l.rank, blob); err != nil {
+		panic(fmt.Sprintf("protocol: persist log: %v", err))
+	}
+	l.Stats.LogBytes += int64(len(blob))
+	l.amLogging = false
+	l.trace(TraceLogFinalized, -1, 0, 0, len(blob))
+	l.sendCtl(0, tagStoppedLogging, uint64(l.epoch))
+}
+
+// PotentialCheckpoint is the application's checkpoint opportunity. A local
+// checkpoint is taken only if one has been requested, and — the deferral
+// rule — only once any previous log replay has been fully consumed and all
+// suppressed re-sends have been re-executed, so that the counts and logs of
+// the new checkpoint are complete.
+func (l *Layer) PotentialCheckpoint() {
+	l.potentialCalls++
+	if l.init != nil {
+		l.init.sincePrev++
+	}
+	l.enterOp()
+	if l.cfg.Mode != NoAppState && l.cfg.Mode != Full {
+		return
+	}
+	if !l.checkpointRequested {
+		return
+	}
+	if l.replay != nil && (!l.replay.Exhausted() || l.suppressPending > 0) {
+		return
+	}
+	l.takeCheckpoint()
+}
+
+// takeCheckpoint performs potentialCheckpoint()'s state transition from
+// Figure 4 plus the state saving of Section 5.
+func (l *Layer) takeCheckpoint() {
+	l.epoch++
+
+	// Save node state: application state (Section 5.1) + MPI library state
+	// (Section 5.2) + the early-message IDs and epoch (Figure 4).
+	blob, err := l.marshalState()
+	if err != nil {
+		panic(fmt.Sprintf("protocol: snapshot state: %v", err))
+	}
+	if err := l.cfg.Store.PutState(l.epoch, l.rank, blob); err != nil {
+		panic(fmt.Sprintf("protocol: persist state: %v", err))
+	}
+	l.Stats.CheckpointsTaken++
+	l.Stats.CheckpointBytes += int64(len(blob))
+	l.trace(TraceCheckpoint, -1, 0, 0, len(blob))
+
+	// Tell every receiver how many messages we sent it in the epoch that
+	// just ended.
+	for q := 0; q < l.size; q++ {
+		l.sendCtl(q, tagMySendCount, uint64(l.epoch), uint64(l.sendCount[q]))
+	}
+	for p := 0; p < l.size; p++ {
+		l.previousReceiveCount[p] = l.currentReceiveCount[p]
+		// Early messages we received in the old epoch were sent in the new
+		// one, so they seed the new epoch's receive counts.
+		l.currentReceiveCount[p] = int64(len(l.earlyIDs[p]))
+		l.earlyIDs[p] = nil
+		l.sendCount[p] = 0
+	}
+	l.checkpointRequested = false
+	l.amLogging = true
+	l.nextMessageID = 0
+	l.recvSeq = 0
+	l.collSeq = 0
+	l.eventSeq = 0
+	l.log = NewLog()
+	l.replay = nil
+	l.suppress = map[uint32]bool{}
+	l.suppressPending = 0
+	l.receivedAll()
+}
+
+// Finish marks the application as complete on this rank; afterwards the
+// layer only services control traffic via ServiceControl.
+func (l *Layer) Finish() { l.finished = true }
+
+// ServiceControl processes pending control traffic once; finished ranks
+// call it in a loop until the whole computation completes, so that
+// checkpoints initiated while other ranks are still running do not stall
+// on this rank's silence.
+func (l *Layer) ServiceControl() {
+	if !l.active() {
+		return
+	}
+	l.drainControl()
+	if l.init != nil {
+		l.maybeInitiate(false)
+	}
+}

@@ -1,0 +1,142 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogMarshalRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.Add(Entry{Kind: KindLate, Seq: 0, Src: 2, Tag: 7, Data: []byte("late payload")})
+	l.Add(Entry{Kind: KindWildcard, Seq: 3, Src: 1, Tag: -1})
+	l.Add(Entry{Kind: KindCollective, Seq: 0, Data: []byte{1, 2, 3}})
+	l.Add(Entry{Kind: KindEvent, Seq: 5, Data: []byte{9}})
+
+	back, err := UnmarshalLog(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 4 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	for i := range l.entries {
+		a, b := l.entries[i], back.entries[i]
+		if a.Kind != b.Kind || a.Seq != b.Seq || a.Src != b.Src || a.Tag != b.Tag || !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("entry %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestLogMarshalProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		for i := 0; i < int(n%40); i++ {
+			data := make([]byte, rng.Intn(64))
+			rng.Read(data)
+			l.Add(Entry{
+				Kind: EntryKind(rng.Intn(4) + 1),
+				Seq:  rng.Int63n(1000),
+				Src:  rng.Intn(10) - 1,
+				Tag:  rng.Intn(10) - 1,
+				Data: data,
+			})
+		}
+		back, err := UnmarshalLog(l.Marshal())
+		if err != nil || back.Len() != l.Len() {
+			return false
+		}
+		for i := range l.entries {
+			a, b := l.entries[i], back.entries[i]
+			if a.Kind != b.Kind || a.Seq != b.Seq || a.Src != b.Src || a.Tag != b.Tag || !bytes.Equal(a.Data, b.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalLogCorrupt(t *testing.T) {
+	l := NewLog()
+	l.Add(Entry{Kind: KindLate, Seq: 1, Data: make([]byte, 100)})
+	raw := l.Marshal()
+	if _, err := UnmarshalLog(raw[:len(raw)/2]); err == nil {
+		t.Fatal("truncated log should fail to parse")
+	}
+}
+
+func TestReplayCursors(t *testing.T) {
+	l := NewLog()
+	l.Add(Entry{Kind: KindLate, Seq: 2, Src: 1, Tag: 5, Data: []byte("a")})
+	l.Add(Entry{Kind: KindLate, Seq: 4, Src: 1, Tag: 5, Data: []byte("b")})
+	l.Add(Entry{Kind: KindCollective, Seq: 1, Data: []byte("c")})
+	l.Add(Entry{Kind: KindEvent, Seq: 0, Data: []byte("e")})
+
+	r := NewReplay(l)
+	if r.Exhausted() {
+		t.Fatal("fresh replay should not be exhausted")
+	}
+	if e := r.Late(0); e != nil {
+		t.Fatal("receive 0 was not late")
+	}
+	if e := r.Late(2); e == nil || string(e.Data) != "a" {
+		t.Fatalf("late at 2: %+v", e)
+	}
+	if e := r.Late(3); e != nil {
+		t.Fatal("receive 3 was not late")
+	}
+	if e := r.Late(4); e == nil || string(e.Data) != "b" {
+		t.Fatalf("late at 4: %+v", e)
+	}
+	if r.PendingLate() != 0 {
+		t.Fatalf("pending late = %d", r.PendingLate())
+	}
+	if e := r.Collective(0); e != nil {
+		t.Fatal("collective 0 was not logged")
+	}
+	if e := r.Collective(1); e == nil || string(e.Data) != "c" {
+		t.Fatalf("collective at 1: %+v", e)
+	}
+	if e := r.Event(0); e == nil || string(e.Data) != "e" {
+		t.Fatalf("event at 0: %+v", e)
+	}
+	if !r.Exhausted() {
+		t.Fatal("replay should be exhausted")
+	}
+}
+
+func TestReplayWildcardPeekConsume(t *testing.T) {
+	l := NewLog()
+	l.Add(Entry{Kind: KindWildcard, Seq: 1, Src: 3, Tag: 9})
+	r := NewReplay(l)
+	if e := r.PeekWildcard(0); e != nil {
+		t.Fatal("no wildcard at 0")
+	}
+	if e := r.PeekWildcard(1); e == nil || e.Src != 3 {
+		t.Fatalf("peek: %+v", e)
+	}
+	// Peek does not consume.
+	if e := r.PeekWildcard(1); e == nil {
+		t.Fatal("peek should not consume")
+	}
+	r.ConsumeWildcard(1)
+	if e := r.PeekWildcard(1); e != nil {
+		t.Fatal("consume should advance the cursor")
+	}
+	if !r.Exhausted() {
+		t.Fatal("should be exhausted")
+	}
+}
+
+func TestLogBytesAccounting(t *testing.T) {
+	l := NewLog()
+	l.Add(Entry{Kind: KindLate, Data: make([]byte, 1000)})
+	if l.Bytes() < 1000 {
+		t.Fatalf("Bytes = %d", l.Bytes())
+	}
+}

@@ -1,0 +1,266 @@
+package protocol
+
+import (
+	"fmt"
+
+	"ccift/internal/mpi"
+)
+
+// Point-to-point operations. Every application call is intercepted here:
+// sends get piggybacks attached (and are suppressed during recovery when
+// their IDs appear in a receiver's early-ID set); receives strip and act on
+// the piggyback (Figure 4's communicationEventHandler).
+
+// Send delivers data to dst with the given tag through the protocol layer.
+func (l *Layer) Send(dst, tag int, data []byte) {
+	l.enterOp()
+	if !l.active() {
+		l.comm.Send(dst, tag, data)
+		return
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("protocol: application tags must be non-negative, got %d", tag))
+	}
+	id := l.nextMessageID
+	l.nextMessageID++
+	l.sendCount[dst]++
+	l.Stats.MessagesSent++
+	l.Stats.BytesSent += int64(len(data))
+	if l.suppress[id] {
+		// This exact message was received by its destination before the
+		// destination's checkpoint; re-sending it would duplicate it
+		// (Section 3.2). The ID still consumes sequence and count space so
+		// the books match the original execution.
+		delete(l.suppress, id)
+		l.suppressPending--
+		l.Stats.SuppressedSends++
+		l.trace(TraceSendSuppressed, dst, tag, id, len(data))
+		return
+	}
+	pb := Piggyback{Color: l.color(), Logging: l.amLogging, MessageID: id}
+	l.Stats.PiggybackBytes += pbBytes
+	l.trace(TraceSend, dst, tag, id, len(data))
+	l.comm.Send(dst, tag, attach(pb, data))
+}
+
+// Recv blocks until a message matching (src, tag) is delivered to the
+// application; src may be mpi.AnySource and tag mpi.AnyTag.
+func (l *Layer) Recv(src, tag int) *AppMessage {
+	l.enterOp()
+	if !l.active() {
+		m := l.comm.Recv(src, tag)
+		return &AppMessage{Source: m.Source, Tag: m.Tag, Data: m.Data}
+	}
+	return l.recvApp(src, tag)
+}
+
+// recvApp is the shared delivery path of Recv and Wait-on-receive. It
+// consults the recovery replay first, then performs a live receive while
+// servicing control traffic.
+func (l *Layer) recvApp(src, tag int) *AppMessage {
+	if l.replay != nil {
+		seq := l.recvSeq
+		if e := l.replay.Late(seq); e != nil {
+			// The receive at this sequence number originally matched a
+			// message sent before the sender's checkpoint; the sender will
+			// not re-send it, so it is re-delivered from the log.
+			if src != mpi.AnySource && src != e.Src || tag != mpi.AnyTag && tag != e.Tag {
+				panic(fmt.Sprintf("protocol: rank %d replay divergence at recv %d: logged (src=%d,tag=%d), requested (src=%d,tag=%d)",
+					l.rank, seq, e.Src, e.Tag, src, tag))
+			}
+			l.recvSeq++
+			l.Stats.ReplayedLate++
+			l.trace(TraceReplayLate, e.Src, e.Tag, 0, len(e.Data))
+			return &AppMessage{Source: e.Src, Tag: e.Tag, Data: e.Data}
+		}
+		if e := l.replay.PeekWildcard(seq); e != nil {
+			// The original execution resolved this wildcard receive to a
+			// specific sender; recovery must make the same choice. The
+			// entry is consumed by deliver once the message arrives.
+			src, tag = e.Src, e.Tag
+		}
+	}
+	spec := mpi.RecvSpec{Source: src, Tag: tag}
+	for {
+		specs := append([]mpi.RecvSpec{spec}, controlSpecs...)
+		idx, m := l.comm.Select(specs)
+		if idx == 0 {
+			return l.deliver(m, src == mpi.AnySource || tag == mpi.AnyTag)
+		}
+		l.handleControl(idx-1, m)
+	}
+}
+
+// deliver processes an incoming application message: strip the piggyback,
+// classify, bookkeep, and hand the payload to the application.
+func (l *Layer) deliver(m *mpi.Message, wasWildcard bool) *AppMessage {
+	if l.replay != nil {
+		l.replay.ConsumeWildcard(l.recvSeq)
+	}
+	pb, payload := detach(m.Data)
+	switch Classify(pb, l.color(), l.amLogging) {
+	case Early:
+		if l.cfg.Debug && l.amLogging {
+			panic(fmt.Sprintf("protocol: rank %d: early message while logging", l.rank))
+		}
+		l.earlyIDs[m.Source] = append(l.earlyIDs[m.Source], pb.MessageID)
+		l.Stats.EarlyRecorded++
+		l.trace(TraceRecvEarly, m.Source, m.Tag, pb.MessageID, len(payload))
+	case Intra:
+		if l.amLogging && !pb.Logging {
+			// The sender has stopped logging, so every process has taken
+			// its checkpoint and events we log from here on could depend
+			// on unlogged non-determinism: stop logging before the
+			// application sees this message (Section 4.1, Phase 4).
+			l.finalizeLog()
+		}
+		l.currentReceiveCount[m.Source]++
+		l.trace(TraceRecvIntra, m.Source, m.Tag, pb.MessageID, len(payload))
+		if l.amLogging && wasWildcard {
+			l.log.Add(Entry{Kind: KindWildcard, Seq: l.recvSeq, Src: m.Source, Tag: m.Tag})
+		}
+	case Late:
+		if l.cfg.Debug && !l.amLogging {
+			panic(fmt.Sprintf("protocol: rank %d: late message while not logging", l.rank))
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		l.log.Add(Entry{Kind: KindLate, Seq: l.recvSeq, Src: m.Source, Tag: m.Tag, Data: cp})
+		l.Stats.LateLogged++
+		l.trace(TraceRecvLate, m.Source, m.Tag, pb.MessageID, len(payload))
+		l.previousReceiveCount[m.Source]++
+		l.receivedAll()
+	}
+	l.recvSeq++
+	return &AppMessage{Source: m.Source, Tag: m.Tag, Data: payload}
+}
+
+// --- Request pseudo-handles (Section 5.2, transient opaque objects) ---
+
+// Handle is an application-visible pseudo-handle for an MPI_Request. The
+// application only ever sees pseudo-handles; the real request objects live
+// inside the layer and are reconstructed on recovery.
+type Handle int64
+
+type reqState struct {
+	isRecv   bool
+	src, tag int
+	done     bool
+	msg      *AppMessage
+}
+
+// Isend posts a non-blocking send and returns its pseudo-handle. The
+// transport copies eagerly, so the request is immediately complete: on
+// recovery, Wait on a pre-checkpoint Isend handle must return immediately
+// (the message is either in the receiver's checkpoint or in its log), which
+// is exactly what a completed pseudo-handle does.
+func (l *Layer) Isend(dst, tag int, data []byte) Handle {
+	l.Send(dst, tag, data)
+	return l.handles.newRequest(&reqState{done: true})
+}
+
+// Irecv posts a non-blocking receive and returns its pseudo-handle.
+// Matching happens at Wait/Test time, which is also where the paper places
+// the delivery event (the destination of a message arrow is where MPI_Wait
+// would return, Section 2).
+func (l *Layer) Irecv(src, tag int) Handle {
+	l.enterOp()
+	return l.handles.newRequest(&reqState{isRecv: true, src: src, tag: tag})
+}
+
+// Wait blocks until the request completes; for receives it returns the
+// delivered message, for sends nil. The pseudo-handle is released.
+func (l *Layer) Wait(h Handle) *AppMessage {
+	st := l.handles.request(h)
+	if !st.done {
+		if st.isRecv {
+			if l.active() {
+				st.msg = l.recvApp(st.src, st.tag)
+			} else {
+				m := l.comm.Recv(st.src, st.tag)
+				st.msg = &AppMessage{Source: m.Source, Tag: m.Tag, Data: m.Data}
+			}
+		}
+		st.done = true
+	}
+	l.handles.release(h)
+	return st.msg
+}
+
+// Test checks a request without blocking; ok reports completion, and a
+// completed request is released.
+func (l *Layer) Test(h Handle) (*AppMessage, bool) {
+	l.enterOp()
+	st := l.handles.request(h)
+	if st.done {
+		l.handles.release(h)
+		return st.msg, true
+	}
+	if !st.isRecv {
+		st.done = true
+		l.handles.release(h)
+		return nil, true
+	}
+	src, tag := st.src, st.tag
+	if l.replay != nil {
+		// A logged late message for this receive completes it instantly.
+		if e := l.replay.Late(l.recvSeq); e != nil {
+			l.recvSeq++
+			l.Stats.ReplayedLate++
+			st.msg = &AppMessage{Source: e.Src, Tag: e.Tag, Data: e.Data}
+			st.done = true
+			l.handles.release(h)
+			return st.msg, true
+		}
+		if e := l.replay.PeekWildcard(l.recvSeq); e != nil {
+			src, tag = e.Src, e.Tag
+		}
+	}
+	spec := mpi.RecvSpec{Source: src, Tag: tag}
+	if idx, m := l.comm.PollSelect([]mpi.RecvSpec{spec}); idx == 0 && m != nil {
+		st.msg = l.deliver(m, st.src == mpi.AnySource || st.tag == mpi.AnyTag)
+		st.done = true
+		l.handles.release(h)
+		return st.msg, true
+	}
+	return nil, false
+}
+
+// Waitall completes every request in order.
+func (l *Layer) Waitall(hs []Handle) []*AppMessage {
+	out := make([]*AppMessage, len(hs))
+	for i, h := range hs {
+		out[i] = l.Wait(h)
+	}
+	return out
+}
+
+// Iprobe reports whether a message matching (src, tag) is available
+// without consuming it, returning the matched source and tag (useful with
+// wildcards). Control traffic is serviced first, so a probe cannot starve
+// the protocol. During log replay, a pending logged late message for the
+// current receive sequence also reports as available: recovery must see
+// the same message availability the original execution saw.
+func (l *Layer) Iprobe(src, tag int) (ok bool, msgSrc, msgTag int) {
+	l.enterOp()
+	if !l.active() {
+		ok, m := l.comm.Iprobe(src, tag)
+		if !ok {
+			return false, 0, 0
+		}
+		return true, m.Source, m.Tag
+	}
+	if l.replay != nil {
+		if e := l.replay.PeekLate(l.recvSeq); e != nil {
+			if (src == mpi.AnySource || src == e.Src) && (tag == mpi.AnyTag || tag == e.Tag) {
+				return true, e.Src, e.Tag
+			}
+			return false, 0, 0
+		}
+	}
+	ok2, m := l.comm.Iprobe(src, tag)
+	if !ok2 {
+		return false, 0, 0
+	}
+	return true, m.Source, m.Tag
+}

@@ -1,0 +1,127 @@
+// Package protocol implements the paper's primary contribution: a
+// non-blocking, coordinated checkpointing protocol that works with
+// application-level state saving (Section 4). The protocol layer sits
+// between the application and the MPI library, piggybacks control
+// information on application messages, classifies messages as late,
+// intra-epoch or early, logs late messages and non-deterministic events
+// while a global checkpoint is in progress, suppresses early-message
+// resends during recovery, and reconstructs MPI library state from
+// pseudo-handles and persistent-object call replay (Section 5.2).
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Piggyback is the control information carried on every application
+// message (Section 4.2). The protocol only needs the *color* of the
+// sender's epoch (because at most one global checkpoint is in progress,
+// epochs differ by at most one, so one bit disambiguates), the sender's
+// amLogging flag, and a per-epoch unique message ID.
+type Piggyback struct {
+	// Color is the sender's epoch parity.
+	Color bool
+	// Logging is the sender's amLogging flag.
+	Logging bool
+	// MessageID is the sender's per-epoch message sequence number.
+	MessageID uint32
+}
+
+// pbBytes is the wire size of the packed piggyback: the paper's optimized
+// encoding packs everything into a single 32-bit integer (two flag bits +
+// 30-bit message ID).
+const pbBytes = 4
+
+const (
+	pbColorBit   = 1 << 31
+	pbLoggingBit = 1 << 30
+	pbIDMask     = pbLoggingBit - 1
+)
+
+// Pack encodes the piggyback into its single-integer wire form.
+func (p Piggyback) Pack() uint32 {
+	v := p.MessageID & pbIDMask
+	if p.Color {
+		v |= pbColorBit
+	}
+	if p.Logging {
+		v |= pbLoggingBit
+	}
+	return v
+}
+
+// UnpackPiggyback decodes the single-integer wire form.
+func UnpackPiggyback(v uint32) Piggyback {
+	return Piggyback{
+		Color:     v&pbColorBit != 0,
+		Logging:   v&pbLoggingBit != 0,
+		MessageID: v & pbIDMask,
+	}
+}
+
+// attach prepends the packed piggyback to an application payload.
+func attach(p Piggyback, data []byte) []byte {
+	out := make([]byte, pbBytes+len(data))
+	binary.LittleEndian.PutUint32(out, p.Pack())
+	copy(out[pbBytes:], data)
+	return out
+}
+
+// detach splits a wire message into its piggyback and application payload.
+func detach(wire []byte) (Piggyback, []byte) {
+	if len(wire) < pbBytes {
+		panic(fmt.Sprintf("protocol: short message (%d bytes): missing piggyback", len(wire)))
+	}
+	return UnpackPiggyback(binary.LittleEndian.Uint32(wire)), wire[pbBytes:]
+}
+
+// Class is the message classification of Definition 1.
+type Class int
+
+const (
+	// Intra is an intra-epoch message: sender and receiver epochs agree.
+	Intra Class = iota
+	// Late messages were sent before the sender's checkpoint but are
+	// delivered after the receiver's (they cross the recovery line
+	// forward); the receiver must log them because the sender will not
+	// re-send them after a rollback.
+	Late
+	// Early messages were sent after the sender's checkpoint but are
+	// delivered before the receiver's; the receiver's checkpoint already
+	// contains their effect, so their re-send must be suppressed during
+	// recovery.
+	Early
+)
+
+func (c Class) String() string {
+	switch c {
+	case Intra:
+		return "intra-epoch"
+	case Late:
+		return "late"
+	case Early:
+		return "early"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classify determines the class of a received message from the sender's
+// piggybacked color and the receiver's local color and amLogging flag
+// (Section 4.2): equal colors mean intra-epoch; with different colors, a
+// logging receiver is ahead of the sender (late message) and a non-logging
+// receiver is behind (early message).
+//
+// The disambiguation is sound because a receiver that is still logging for
+// checkpoint e cannot coexist with a sender already in epoch e+1: epoch e+1
+// cannot begin until checkpoint e commits, which requires every process —
+// including the receiver — to have stopped logging.
+func Classify(sender Piggyback, receiverColor, receiverLogging bool) Class {
+	if sender.Color == receiverColor {
+		return Intra
+	}
+	if receiverLogging {
+		return Late
+	}
+	return Early
+}

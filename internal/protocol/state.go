@@ -1,0 +1,167 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ccift/internal/storage"
+)
+
+// The serialized local checkpoint: the protocol section of Figure 4's
+// potentialCheckpoint (epoch, early-message IDs), the MPI library state of
+// Section 5.2 (outstanding request records, persistent-object call log),
+// and the application state of Section 5.1 (PS + VDS + heap, produced by
+// ckpt.Saver).
+
+type reqRecord struct {
+	Handle Handle
+	IsRecv bool
+	Src    int
+	Tag    int
+	Done   bool
+}
+
+type checkpointState struct {
+	Epoch    int
+	EarlyIDs [][]uint32
+	Persist  []PersistRecord
+	Requests []reqRecord
+	NextReq  Handle
+	App      []byte // empty in NoAppState mode
+}
+
+func (l *Layer) marshalState() ([]byte, error) {
+	st := checkpointState{
+		Epoch:    l.epoch,
+		EarlyIDs: l.earlyIDs,
+		Persist:  l.persist,
+		NextReq:  l.handles.nextReq,
+	}
+	for h, r := range l.handles.reqs {
+		st.Requests = append(st.Requests, reqRecord{Handle: h, IsRecv: r.isRecv, Src: r.src, Tag: r.tag, Done: r.done})
+	}
+	if l.cfg.Mode == Full {
+		app, err := l.Saver.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		st.App = app
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("protocol: encode checkpoint state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalState(raw []byte) (*checkpointState, error) {
+	var st checkpointState
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("protocol: decode checkpoint state: %w", err)
+	}
+	return &st, nil
+}
+
+// LoadEarlyIDs reads the early-message ID sets a rank saved with its local
+// checkpoint for the given epoch. The recovery driver gathers these from
+// every rank and informs each sender which message IDs to suppress
+// (Section 4.2).
+func LoadEarlyIDs(store *storage.CheckpointStore, epoch, rank int) ([][]uint32, error) {
+	raw, err := store.GetState(epoch, rank)
+	if err != nil {
+		return nil, err
+	}
+	st, err := unmarshalState(raw)
+	if err != nil {
+		return nil, err
+	}
+	return st.EarlyIDs, nil
+}
+
+// LoadAppState reads the application-state blob a rank saved with its
+// local checkpoint. The recovery driver uses it to extract the primary
+// rank's replicated values before re-invoking the application.
+func LoadAppState(store *storage.CheckpointStore, epoch, rank int) ([]byte, error) {
+	raw, err := store.GetState(epoch, rank)
+	if err != nil {
+		return nil, err
+	}
+	st, err := unmarshalState(raw)
+	if err != nil {
+		return nil, err
+	}
+	return st.App, nil
+}
+
+// Restore rebuilds the layer from the committed global checkpoint at the
+// given epoch. suppress lists the message IDs (gathered from every
+// receiver's early-ID sets) that this rank must not re-send during
+// recovery. It returns the application-state blob for the caller to hand
+// to the state-saving runtime before the application function re-executes.
+func (l *Layer) Restore(epoch int, suppress []uint32) ([]byte, error) {
+	raw, err := l.cfg.Store.GetState(epoch, l.rank)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: load state (epoch %d, rank %d): %w", epoch, l.rank, err)
+	}
+	st, err := unmarshalState(raw)
+	if err != nil {
+		return nil, err
+	}
+	if st.Epoch != epoch {
+		return nil, fmt.Errorf("protocol: state blob epoch %d != requested %d", st.Epoch, epoch)
+	}
+	logRaw, err := l.cfg.Store.GetLog(epoch, l.rank)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: load log (epoch %d, rank %d): %w", epoch, l.rank, err)
+	}
+	lg, err := UnmarshalLog(logRaw)
+	if err != nil {
+		return nil, err
+	}
+
+	l.epoch = epoch
+	l.amLogging = false // the committed checkpoint's logging phase finished
+	l.nextMessageID = 0
+	l.checkpointRequested = false
+	l.requestedEpoch = 0
+	l.recvSeq, l.collSeq, l.eventSeq = 0, 0, 0
+	l.log = NewLog()
+	l.restarted = true
+	for p := 0; p < l.size; p++ {
+		// Early messages recorded at the checkpoint were sent in the
+		// restored epoch: they seed the receive counts exactly as the
+		// original post-checkpoint transition did.
+		l.currentReceiveCount[p] = int64(len(st.EarlyIDs[p]))
+		l.previousReceiveCount[p] = 0
+		l.sendCount[p] = 0
+		l.totalSent[p] = -1
+	}
+	l.earlyIDs = make([][]uint32, l.size)
+
+	l.replay = NewReplay(lg)
+	l.suppress = make(map[uint32]bool, len(suppress))
+	for _, id := range suppress {
+		l.suppress[id] = true
+	}
+	l.suppressPending = len(l.suppress)
+
+	// MPI library state: replay persistent-object calls, re-initialize
+	// request pseudo-handles.
+	l.handles = newHandleTable()
+	l.replayPersistent(st.Persist)
+	l.handles.nextReq = st.NextReq
+	for _, r := range st.Requests {
+		l.handles.reqs[r.Handle] = &reqState{isRecv: r.IsRecv, src: r.Src, tag: r.Tag, done: r.Done}
+	}
+	return st.App, nil
+}
+
+// ReplayPending reports whether the layer is still consuming a recovered
+// log (diagnostics and tests).
+func (l *Layer) ReplayPending() bool {
+	return l.replay != nil && !l.replay.Exhausted()
+}
+
+// SuppressPending reports how many early re-sends are still due.
+func (l *Layer) SuppressPending() int { return l.suppressPending }

@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVerboseEncodeRoundTrip(t *testing.T) {
+	f := func(epoch uint16, logging bool, id uint32) bool {
+		p := VerbosePiggyback{Epoch: int(epoch), Logging: logging, MessageID: id}
+		q := DecodeVerbosePiggyback(p.Encode())
+		return q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerboseCompactAgree executes the Section 4.2 optimization argument:
+// over every state the protocol can reach — epochs differing by at most
+// one, and a receiver that is logging exactly when it is one epoch ahead
+// with the previous checkpoint's logging phase unfinished — the one-bit
+// color classification agrees with the full-epoch classification.
+func TestVerboseCompactAgree(t *testing.T) {
+	for senderEpoch := 0; senderEpoch <= 6; senderEpoch++ {
+		for d := -1; d <= 1; d++ {
+			receiverEpoch := senderEpoch + d
+			if receiverEpoch < 0 {
+				continue
+			}
+			want := ClassifyVerbose(senderEpoch, receiverEpoch)
+			// The receiver's amLogging flag is constrained by the protocol:
+			// a late message implies the receiver checkpointed after the
+			// sender sent (receiver ahead) and is still collecting the old
+			// epoch's messages — it must be logging. An early message
+			// implies the receiver has not reached the checkpoint the
+			// sender already took — the receiver cannot be logging for it.
+			// Intra-epoch messages occur in both receiver states.
+			var loggingStates []bool
+			switch want {
+			case Late:
+				loggingStates = []bool{true}
+			case Early:
+				loggingStates = []bool{false}
+			default:
+				loggingStates = []bool{false, true}
+			}
+			for _, logging := range loggingStates {
+				sender := VerbosePiggyback{Epoch: senderEpoch}.Compact()
+				receiverColor := receiverEpoch%2 == 1
+				got := Classify(sender, receiverColor, logging)
+				if got != want {
+					t.Fatalf("sender epoch %d, receiver epoch %d (logging=%v): compact=%v, verbose=%v",
+						senderEpoch, receiverEpoch, logging, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestVerboseCostComparison(t *testing.T) {
+	// The optimization's point: 13 bytes down to 4.
+	p := VerbosePiggyback{Epoch: 3, Logging: true, MessageID: 99}
+	if len(p.Encode()) != verboseBytes {
+		t.Fatalf("verbose encoding is %d bytes", len(p.Encode()))
+	}
+	if verboseBytes <= pbBytes {
+		t.Fatal("the verbose form should cost more than the packed form")
+	}
+	if p.Compact().MessageID != 99 || !p.Compact().Logging || !p.Compact().Color {
+		t.Fatalf("compact conversion lost fields: %+v", p.Compact())
+	}
+}

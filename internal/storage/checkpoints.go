@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CheckpointStore layers the checkpoint naming scheme and the initiator's
+// commit record on top of a Stable blob store.
+//
+// A global checkpoint for epoch e consists of one state blob and one log
+// blob per rank plus, once every rank has reported stoppedLogging, a commit
+// record naming e as "the checkpoint to be used for recovery" (Section 4.1,
+// Phase 4 of the paper). Recovery always starts from the newest committed
+// epoch; a crash in the middle of checkpoint e+1 therefore falls back to
+// epoch e.
+type CheckpointStore struct {
+	S Stable
+}
+
+// NewCheckpointStore wraps s.
+func NewCheckpointStore(s Stable) *CheckpointStore { return &CheckpointStore{S: s} }
+
+// StateKey names the application+protocol state blob for (epoch, rank).
+func StateKey(epoch, rank int) string { return fmt.Sprintf("ckpt/%08d/state.%04d", epoch, rank) }
+
+// LogKey names the message/non-determinism log blob for (epoch, rank).
+func LogKey(epoch, rank int) string { return fmt.Sprintf("ckpt/%08d/log.%04d", epoch, rank) }
+
+const commitKey = "ckpt/COMMIT"
+
+// PutState durably stores a rank's local checkpoint state for an epoch.
+func (c *CheckpointStore) PutState(epoch, rank int, data []byte) error {
+	return c.S.Put(StateKey(epoch, rank), data)
+}
+
+// GetState loads a rank's local checkpoint state for an epoch.
+func (c *CheckpointStore) GetState(epoch, rank int) ([]byte, error) {
+	return c.S.Get(StateKey(epoch, rank))
+}
+
+// PutLog durably stores a rank's finalized log for an epoch.
+func (c *CheckpointStore) PutLog(epoch, rank int, data []byte) error {
+	return c.S.Put(LogKey(epoch, rank), data)
+}
+
+// GetLog loads a rank's finalized log for an epoch.
+func (c *CheckpointStore) GetLog(epoch, rank int) ([]byte, error) {
+	return c.S.Get(LogKey(epoch, rank))
+}
+
+// Commit atomically records epoch as the checkpoint to use for recovery.
+func (c *CheckpointStore) Commit(epoch int) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(epoch)+1) // +1 so epoch 0 is distinguishable from "none"
+	return c.S.Put(commitKey, b[:])
+}
+
+// Committed returns the most recently committed epoch. ok is false when no
+// global checkpoint has ever been committed.
+func (c *CheckpointStore) Committed() (epoch int, ok bool, err error) {
+	b, err := c.S.Get(commitKey)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	v := binary.LittleEndian.Uint64(b)
+	if v == 0 {
+		return 0, false, nil
+	}
+	return int(v - 1), true, nil
+}

@@ -1,0 +1,222 @@
+// Package storage provides the stable-storage abstraction used by the
+// checkpointing protocol. The paper assumes each node can write local
+// checkpoints to stable storage (local disk at roughly 40 MB/s on the CMI
+// cluster); we provide an in-memory backend for tests, an on-disk backend,
+// and a bandwidth-throttled wrapper that models the disk of the paper's
+// evaluation platform.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned by Get when no blob exists under the given key.
+var ErrNotFound = errors.New("storage: key not found")
+
+// Stable is a minimal reliable blob store. Writes are atomic: a blob is
+// either fully stored or absent. Implementations must be safe for
+// concurrent use by multiple ranks.
+type Stable interface {
+	// Put durably stores data under key, replacing any previous blob.
+	Put(key string, data []byte) error
+	// Get returns the blob stored under key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Delete removes the blob under key. Deleting a missing key is not an
+	// error.
+	Delete(key string) error
+	// List returns all keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// Memory is an in-memory Stable implementation for tests and benchmarks
+// that want to exclude I/O cost.
+type Memory struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+
+	// BytesWritten counts the total payload bytes accepted by Put; it is
+	// used by ablation benchmarks to compare checkpoint volumes.
+	bytesWritten int64
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{blobs: make(map[string][]byte)}
+}
+
+// Put implements Stable.
+func (m *Memory) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[key] = cp
+	m.bytesWritten += int64(len(data))
+	return nil
+}
+
+// Get implements Stable.
+func (m *Memory) Get(key string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+// Delete implements Stable.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, key)
+	return nil
+}
+
+// List implements Stable.
+func (m *Memory) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var keys []string
+	for k := range m.blobs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// BytesWritten reports the total number of payload bytes stored so far.
+func (m *Memory) BytesWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytesWritten
+}
+
+// Disk stores blobs as files under a directory. Keys may contain '/'
+// separators, which map to subdirectories. Writes go through a temporary
+// file followed by rename, so a crash never leaves a torn blob.
+type Disk struct {
+	root string
+	mu   sync.Mutex
+}
+
+// NewDisk returns a disk-backed store rooted at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.root, filepath.FromSlash(key))
+}
+
+// Put implements Stable.
+func (d *Disk) Put(key string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements Stable.
+func (d *Disk) Get(key string) ([]byte, error) {
+	b, err := os.ReadFile(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return b, err
+}
+
+// Delete implements Stable.
+func (d *Disk) Delete(key string) error {
+	err := os.Remove(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// List implements Stable.
+func (d *Disk) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.Walk(d.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(d.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) && !strings.HasSuffix(key, ".tmp") {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	sort.Strings(keys)
+	return keys, err
+}
+
+// Throttled wraps a Stable and limits Put throughput to a fixed bandwidth,
+// modelling the 40 MB/s local-disk path of the paper's cluster. Each rank
+// writes its own checkpoint, so the throttle is applied per call (the CMI
+// nodes had independent local disks).
+type Throttled struct {
+	Inner Stable
+	// BytesPerSecond is the simulated write bandwidth. Zero disables
+	// throttling.
+	BytesPerSecond float64
+	// Sleep is the clock used for throttling; tests may replace it.
+	Sleep func(time.Duration)
+}
+
+// NewThrottled wraps inner with a write-bandwidth limit.
+func NewThrottled(inner Stable, bytesPerSecond float64) *Throttled {
+	return &Throttled{Inner: inner, BytesPerSecond: bytesPerSecond, Sleep: time.Sleep}
+}
+
+// Put implements Stable, sleeping long enough that the effective write
+// bandwidth matches BytesPerSecond.
+func (t *Throttled) Put(key string, data []byte) error {
+	start := time.Now()
+	if err := t.Inner.Put(key, data); err != nil {
+		return err
+	}
+	if t.BytesPerSecond > 0 {
+		want := time.Duration(float64(len(data)) / t.BytesPerSecond * float64(time.Second))
+		if elapsed := time.Since(start); elapsed < want {
+			t.Sleep(want - elapsed)
+		}
+	}
+	return nil
+}
+
+// Get implements Stable.
+func (t *Throttled) Get(key string) ([]byte, error) { return t.Inner.Get(key) }
+
+// Delete implements Stable.
+func (t *Throttled) Delete(key string) error { return t.Inner.Delete(key) }
+
+// List implements Stable.
+func (t *Throttled) List(prefix string) ([]string, error) { return t.Inner.List(prefix) }

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ccift/internal/mpi"
+	"ccift/internal/protocol"
+	"ccift/internal/storage"
+)
+
+func TestRecorderCollectsClassifiedEvents(t *testing.T) {
+	rec := New()
+	w := mpi.NewWorld(2, mpi.Options{})
+	store := storage.NewCheckpointStore(storage.NewMemory())
+	mk := func(r int) *protocol.Layer {
+		return protocol.NewLayer(w.Comm(r), protocol.Config{
+			Mode: protocol.Full, Store: store, Debug: true, Tracer: rec,
+		})
+	}
+	P, Q := mk(0), mk(1)
+
+	P.RequestCheckpoint()
+	P.Send(1, 1, []byte("will-be-late"))
+	P.PotentialCheckpoint()
+	Q.PotentialCheckpoint()
+	Q.Recv(0, 1) // late
+
+	Q.Send(0, 2, []byte("intra"))
+	P.Recv(1, 2) // intra-epoch
+
+	if got := rec.Count(protocol.TraceRecvLate); got != 1 {
+		t.Fatalf("late events = %d", got)
+	}
+	if got := rec.Count(protocol.TraceRecvIntra); got != 1 {
+		t.Fatalf("intra events = %d", got)
+	}
+	if got := rec.Count(protocol.TraceCheckpoint); got != 2 {
+		t.Fatalf("checkpoint events = %d", got)
+	}
+	if got := rec.Count(protocol.TraceSend); got != 2 {
+		t.Fatalf("send events = %d", got)
+	}
+}
+
+func TestTimelineRendersGlyphs(t *testing.T) {
+	rec := New()
+	w := mpi.NewWorld(2, mpi.Options{})
+	store := storage.NewCheckpointStore(storage.NewMemory())
+	mk := func(r int) *protocol.Layer {
+		return protocol.NewLayer(w.Comm(r), protocol.Config{
+			Mode: protocol.Full, Store: store, Tracer: rec,
+		})
+	}
+	P, Q := mk(0), mk(1)
+	P.RequestCheckpoint()
+	P.Send(1, 1, []byte("m"))
+	P.PotentialCheckpoint()
+	Q.PotentialCheckpoint()
+	Q.Recv(0, 1)
+
+	out := rec.Timeline(2)
+	if !strings.Contains(out, "P0 ") || !strings.Contains(out, "P1 ") {
+		t.Fatalf("timeline missing rank rows:\n%s", out)
+	}
+	for _, glyph := range []string{"s", "x", "L"} {
+		if !strings.Contains(strings.SplitN(out, "\n    ", 2)[0], glyph) {
+			t.Errorf("timeline missing glyph %q:\n%s", glyph, out)
+		}
+	}
+}
+
+func TestArrowsClassify(t *testing.T) {
+	rec := New()
+	w := mpi.NewWorld(2, mpi.Options{})
+	store := storage.NewCheckpointStore(storage.NewMemory())
+	mk := func(r int) *protocol.Layer {
+		return protocol.NewLayer(w.Comm(r), protocol.Config{
+			Mode: protocol.Full, Store: store, Tracer: rec,
+		})
+	}
+	P, Q := mk(0), mk(1)
+	P.RequestCheckpoint()
+	P.Send(1, 1, []byte("m"))
+	P.PotentialCheckpoint()
+	Q.PotentialCheckpoint()
+	Q.Recv(0, 1)
+
+	arrows := rec.Arrows()
+	if !strings.Contains(arrows, "late (logged)") {
+		t.Fatalf("arrows missing late classification:\n%s", arrows)
+	}
+	if !strings.Contains(arrows, "P0 -> P1") {
+		t.Fatalf("arrows missing send:\n%s", arrows)
+	}
+	sum := rec.Summary()
+	if !strings.Contains(sum, "recv-late") || !strings.Contains(sum, "checkpoint") {
+		t.Fatalf("summary incomplete:\n%s", sum)
+	}
+}
+
+func TestTimelineTruncatesLongTraces(t *testing.T) {
+	rec := New()
+	for i := 0; i < 1000; i++ {
+		rec.Trace(protocol.TraceEvent{Rank: 0, Kind: protocol.TraceSend})
+	}
+	out := rec.Timeline(1)
+	first := strings.SplitN(out, "\n", 2)[0]
+	if len(first) > 200 {
+		t.Fatalf("timeline row too long: %d chars", len(first))
+	}
+}
