@@ -1,0 +1,3 @@
+module ccift
+
+go 1.22

@@ -254,15 +254,20 @@ func runIncarnation(cfg Config, cs *storage.CheckpointStore, world *mpi.World,
 			values[r], errs[r] = v, err
 			stats[r] = layer.Stats
 			layer.Finish()
-			finished.Add(1)
+			if finished.Add(1) == int64(n) {
+				// Last rank out: wake every finished rank parked in
+				// ServiceControlUntil so they observe completion.
+				world.Interrupt()
+			}
 			// Keep servicing protocol control traffic until every rank is
 			// done, so an in-flight global checkpoint does not stall on a
-			// rank that finished early.
-			for finished.Load() < int64(n) && !world.Dead() {
-				layer.ServiceControl()
-				stats[r] = layer.Stats
-				time.Sleep(20 * time.Microsecond)
-			}
+			// rank that finished early. The rank parks on its mailbox and
+			// wakes only for control messages or the completion interrupt —
+			// no polling.
+			layer.ServiceControlUntil(func() bool {
+				return finished.Load() >= int64(n)
+			})
+			stats[r] = layer.Stats
 		}(r)
 	}
 	wg.Wait()

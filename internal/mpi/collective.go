@@ -248,7 +248,7 @@ func (c *Comm) recvInternal(src, tag int) *Message {
 	if c.world.dead.Load() {
 		panic(ErrWorldDead)
 	}
-	_, m := c.box().await([]RecvSpec{{Source: src, Tag: tag, ctx: c.ctx}})
+	_, m := c.world.tr.Await(c.members[c.myIdx], c.spec1(RecvSpec{Source: src, Tag: tag}))
 	return m
 }
 

@@ -17,6 +17,9 @@ type Comm struct {
 	// must be called in the same order by all members (an MPI requirement),
 	// so the per-rank counters agree without communication.
 	collSeq int64
+	// scratch is the reusable receive-spec buffer for this rank's
+	// single-threaded matched receives (see Comm.stamp).
+	scratch []RecvSpec
 }
 
 // Rank returns this process's rank within the communicator.

@@ -8,11 +8,18 @@ type Message struct {
 	Source int
 	// Tag is the application tag the message was sent with.
 	Tag int
-	// Data is the payload. The receiver owns it.
+	// Header is a fixed 32-bit out-of-band control word carried next to
+	// the payload — the second segment of the two-segment wire format. The
+	// protocol layer packs its piggyback here, which is what makes
+	// piggyback attachment zero-copy: the payload is never re-allocated to
+	// prepend control bytes. Zero for plain sends.
+	Header uint32
+	// Data is the payload. The receiver owns it — except when the sender
+	// used SendShared, whose zero-copy handoff makes the buffer shared and
+	// immutable: such payloads must be treated as read-only.
 	Data []byte
 
 	ctx int64 // communicator context the message belongs to
-	seq uint64
 }
 
 // RecvSpec describes what a receive is willing to match.
@@ -22,7 +29,9 @@ type RecvSpec struct {
 	ctx    int64
 }
 
-func (s RecvSpec) matches(m *Message) bool {
+// Matches reports whether the spec accepts m; exported so Transport
+// implementations outside this package can reuse the matching rule.
+func (s RecvSpec) Matches(m *Message) bool {
 	if m.ctx != s.ctx {
 		return false
 	}
@@ -35,48 +44,348 @@ func (s RecvSpec) matches(m *Message) bool {
 	return true
 }
 
+// node is one queued message. Embedded links make removal O(1) in both the
+// delivery-ordered master list and the exact-match bucket; nodes are
+// recycled through a per-mailbox freelist so the steady state allocates
+// nothing beyond the Message itself.
+type node struct {
+	m   *Message
+	key uint64 // master-order key: list order == key order
+
+	prev, next   *node // master (delivery-order) list
+	bprev, bnext *node // bucket list
+	bkt          *bucket
+}
+
+// bucket is the FIFO of queued messages sharing one exact (ctx, tag,
+// source) triple. Within a bucket, delivery order and arrival order
+// coincide: chaos insertion never reorders messages of the same sender
+// and context, so appending at the tail keeps the bucket sorted by master
+// order and the head is always the earliest match.
+type bucket struct {
+	bk         bucketKey
+	head, tail *node
+}
+
+type bucketKey struct {
+	ctx    int64
+	source int
+	tag    int
+}
+
+type tagKey struct {
+	ctx int64
+	tag int
+}
+
+// Master-order keys are spaced keyGap apart on append; a chaos insertion
+// takes the midpoint of its neighbors. When a gap is exhausted the list is
+// renumbered (rare: it takes ~20 consecutive insertions into the same gap).
+const keyGap = 1 << 20
+
 // mailbox holds the arrived-but-unmatched messages of one rank. Matching
-// scans in arrival order (possibly perturbed by chaos insertion), so two
+// follows delivery order (possibly perturbed by chaos insertion), so two
 // messages with the same (source, tag, ctx) are received in arrival order,
 // while tag matching lets the application receive messages out of order —
 // the non-FIFO property of Section 3.3.
+//
+// Receives with fully-specified specs (no wildcards, or only a source
+// wildcard) resolve through the bucket indexes in O(specs) instead of
+// O(queue × specs); AnyTag receives keep the ordered master-list scan so
+// wildcard semantics — and the chaos interleavings the tests pin down —
+// are preserved byte for byte.
 type mailbox struct {
 	world *World
 	mu    sync.Mutex
 	cond  *sync.Cond
-	queue []*Message
-	seq   uint64
+
+	head, tail *node
+	count      int
+
+	// The bucket indexes are built lazily: nodes are linked into their
+	// buckets only once a matching call actually needs the indexed path
+	// (queue longer than scanThreshold). Light traffic therefore never
+	// touches the maps at all. `indexed` counts bucket-linked nodes;
+	// bucket order always mirrors master order because a new arrival can
+	// never be chaos-inserted ahead of a same-(ctx, source) message.
+	indexed int
+	exact   map[bucketKey]*bucket      // (ctx, tag, source) -> FIFO
+	byTag   map[tagKey]map[int]*bucket // (ctx, tag) -> source -> FIFO
+	free    *node                      // recycled nodes
+
+	// Emptied buckets stay registered so ping-pong traffic on one (ctx,
+	// tag, source) triple reuses its bucket instead of re-allocating it
+	// every round trip; a sweep reclaims them once they clearly dominate
+	// (amortized O(1) per message, bounding the map size by live traffic).
+	emptyBuckets int
 }
 
 func newMailbox(w *World) *mailbox {
-	b := &mailbox{world: w}
+	b := &mailbox{
+		world: w,
+		exact: make(map[bucketKey]*bucket),
+		byTag: make(map[tagKey]map[int]*bucket),
+	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+func (b *mailbox) newNode(m *Message) *node {
+	n := b.free
+	if n == nil {
+		n = &node{}
+	} else {
+		b.free = n.next
+		*n = node{}
+	}
+	n.m = m
+	return n
+}
+
+func (b *mailbox) freeNode(n *node) {
+	*n = node{next: b.free}
+	b.free = n
 }
 
 // deliver appends (or chaos-inserts) a message and wakes waiting receivers.
 func (b *mailbox) deliver(m *Message) {
 	b.mu.Lock()
-	b.seq++
-	m.seq = b.seq
-	if slot := b.world.chaosSlot(m, b.queue); slot >= 0 {
-		b.queue = append(b.queue, nil)
-		copy(b.queue[slot+1:], b.queue[slot:])
-		b.queue[slot] = m
+	n := b.newNode(m)
+	if before := b.chaosTarget(m); before != nil {
+		b.insertBefore(n, before)
 	} else {
-		b.queue = append(b.queue, m)
+		b.appendNode(n)
 	}
+	b.count++
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
 
-// tryMatch removes and returns the first message matching any spec, along
-// with the index of the spec that matched.
+// chaosTarget picks the node the arriving message is inserted before, or
+// nil for normal (append) delivery. Reordering respects MPI's
+// non-overtaking guarantee: two messages from the same sender on the same
+// communicator are matched in send order, so an arriving message may only
+// be inserted ahead of undelivered messages from *other* senders (and only
+// within its own communicator context, since cross-communicator ordering
+// cannot be compared). What remains is exactly the network's legal
+// nondeterminism: the arrival interleaving across senders.
+func (b *mailbox) chaosTarget(m *Message) *node {
+	w := b.world
+	if w.chaos == nil || b.head == nil {
+		return nil
+	}
+	if m.Tag < 0 && !w.opts.ChaosAll {
+		return nil
+	}
+	// The message may land anywhere in the longest list suffix consisting
+	// of same-context messages from other senders.
+	suffixLen := 0
+	var start *node
+	for q := b.tail; q != nil; q = q.prev {
+		if q.m.ctx != m.ctx || q.m.Source == m.Source {
+			break
+		}
+		suffixLen++
+		start = q
+	}
+	if suffixLen == 0 {
+		return nil
+	}
+	w.chaosMu.Lock()
+	defer w.chaosMu.Unlock()
+	if w.chaos.Intn(2) == 0 {
+		return nil
+	}
+	for off := w.chaos.Intn(suffixLen); off > 0; off-- {
+		start = start.next
+	}
+	return start
+}
+
+func (b *mailbox) appendNode(n *node) {
+	if b.tail == nil {
+		n.key = keyGap
+		b.head, b.tail = n, n
+		return
+	}
+	n.key = b.tail.key + keyGap
+	n.prev = b.tail
+	b.tail.next = n
+	b.tail = n
+}
+
+func (b *mailbox) insertBefore(n, x *node) {
+	var lo uint64
+	if x.prev != nil {
+		lo = x.prev.key
+	}
+	key := lo + (x.key-lo)/2
+	if key == lo { // gap exhausted: renumber and retry
+		b.renumber()
+		lo = 0
+		if x.prev != nil {
+			lo = x.prev.key
+		}
+		key = lo + (x.key-lo)/2
+	}
+	n.key = key
+	n.prev = x.prev
+	n.next = x
+	if x.prev != nil {
+		x.prev.next = n
+	} else {
+		b.head = n
+	}
+	x.prev = n
+}
+
+func (b *mailbox) renumber() {
+	key := uint64(keyGap)
+	for q := b.head; q != nil; q = q.next {
+		q.key = key
+		key += keyGap
+	}
+}
+
+// bucketAppend registers n at the tail of its (ctx, tag, source) bucket.
+// Appending is always correct: chaos never reorders same-(ctx, source)
+// messages, so bucket order mirrors master order.
+func (b *mailbox) bucketAppend(n *node) {
+	bk := bucketKey{ctx: n.m.ctx, source: n.m.Source, tag: n.m.Tag}
+	bkt := b.exact[bk]
+	if bkt == nil {
+		bkt = &bucket{bk: bk}
+		b.exact[bk] = bkt
+		tk := tagKey{ctx: bk.ctx, tag: bk.tag}
+		srcs := b.byTag[tk]
+		if srcs == nil {
+			srcs = make(map[int]*bucket)
+			b.byTag[tk] = srcs
+		}
+		srcs[bk.source] = bkt
+	} else if bkt.head == nil {
+		b.emptyBuckets--
+	}
+	b.indexed++
+	n.bkt = bkt
+	if bkt.tail == nil {
+		bkt.head, bkt.tail = n, n
+		return
+	}
+	n.bprev = bkt.tail
+	bkt.tail.bnext = n
+	bkt.tail = n
+}
+
+// remove unlinks n from the master list and its bucket and recycles it.
+func (b *mailbox) remove(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	if bkt := n.bkt; bkt != nil {
+		b.indexed--
+		if n.bprev != nil {
+			n.bprev.bnext = n.bnext
+		} else {
+			bkt.head = n.bnext
+		}
+		if n.bnext != nil {
+			n.bnext.bprev = n.bprev
+		} else {
+			bkt.tail = n.bprev
+		}
+		if bkt.head == nil {
+			b.emptyBuckets++
+			if b.emptyBuckets > 32 && b.emptyBuckets > 2*b.count {
+				b.sweepEmptyBuckets()
+			}
+		}
+	}
+	b.count--
+	b.freeNode(n)
+}
+
+// sweepEmptyBuckets drops every cached-empty bucket from both indexes.
+// Triggered when empties outnumber live traffic, so the collective tag
+// space (a fresh tag per collective round) cannot grow the maps without
+// bound.
+func (b *mailbox) sweepEmptyBuckets() {
+	for bk, bkt := range b.exact {
+		if bkt.head != nil {
+			continue
+		}
+		delete(b.exact, bk)
+		tk := tagKey{ctx: bk.ctx, tag: bk.tag}
+		if srcs := b.byTag[tk]; srcs != nil {
+			delete(srcs, bk.source)
+			if len(srcs) == 0 {
+				delete(b.byTag, tk)
+			}
+		}
+	}
+	b.emptyBuckets = 0
+}
+
+// scanThreshold is the queue length below which the ordered linear scan
+// beats the bucket lookups; both paths implement identical semantics.
+const scanThreshold = 4
+
+// tryMatch removes and returns the message earliest in delivery order that
+// matches any spec, along with the index of the spec that matched (ties
+// between specs go to the lowest index, as the ordered scan would).
 func (b *mailbox) tryMatch(specs []RecvSpec) (int, *Message) {
-	for qi, m := range b.queue {
-		for si, s := range specs {
-			if s.matches(m) {
-				b.queue = append(b.queue[:qi], b.queue[qi+1:]...)
+	if b.count <= scanThreshold {
+		return b.scanMatch(specs)
+	}
+	for _, s := range specs {
+		if s.Tag == AnyTag {
+			return b.scanMatch(specs)
+		}
+	}
+	b.ensureIndexed()
+	var best *node
+	bestSpec := -1
+	for si := range specs {
+		s := &specs[si]
+		var cand *node
+		if s.Source == AnySource {
+			for _, bkt := range b.byTag[tagKey{ctx: s.ctx, tag: s.Tag}] {
+				if h := bkt.head; h != nil && (cand == nil || h.key < cand.key) {
+					cand = h
+				}
+			}
+		} else if bkt := b.exact[bucketKey{ctx: s.ctx, source: s.Source, tag: s.Tag}]; bkt != nil {
+			cand = bkt.head
+		}
+		if cand != nil && (best == nil || cand.key < best.key) {
+			best = cand
+			bestSpec = si
+		}
+	}
+	if best == nil {
+		return -1, nil
+	}
+	m := best.m
+	b.remove(best)
+	return bestSpec, m
+}
+
+// scanMatch is the ordered fallback for wildcard-tag receives: walk the
+// master list in delivery order and take the first message any spec
+// accepts — the exact semantics the pre-index mailbox had.
+func (b *mailbox) scanMatch(specs []RecvSpec) (int, *Message) {
+	for q := b.head; q != nil; q = q.next {
+		for si := range specs {
+			if specs[si].Matches(q.m) {
+				m := q.m
+				b.remove(q)
 				return si, m
 			}
 		}
@@ -101,6 +410,25 @@ func (b *mailbox) await(specs []RecvSpec) (int, *Message) {
 	}
 }
 
+// awaitCond is await with a cancellation condition: it returns (-1, nil)
+// once stop() reports true, re-evaluating whenever the mailbox is woken.
+func (b *mailbox) awaitCond(specs []RecvSpec, stop func() bool) (int, *Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.world.dead.Load() {
+			panic(ErrWorldDead)
+		}
+		if si, m := b.tryMatch(specs); m != nil {
+			return si, m
+		}
+		if stop() {
+			return -1, nil
+		}
+		b.cond.Wait()
+	}
+}
+
 // poll attempts a non-blocking match.
 func (b *mailbox) poll(specs []RecvSpec) (int, *Message) {
 	b.mu.Lock()
@@ -118,19 +446,36 @@ func (b *mailbox) probe(spec RecvSpec) (bool, *Message) {
 	if b.world.dead.Load() {
 		panic(ErrWorldDead)
 	}
-	for _, m := range b.queue {
-		if spec.matches(m) {
-			return true, m
+	if spec.Tag == AnyTag || b.count <= scanThreshold {
+		for q := b.head; q != nil; q = q.next {
+			if spec.Matches(q.m) {
+				return true, q.m
+			}
 		}
+		return false, nil
 	}
-	return false, nil
+	b.ensureIndexed()
+	var cand *node
+	if spec.Source == AnySource {
+		for _, bkt := range b.byTag[tagKey{ctx: spec.ctx, tag: spec.Tag}] {
+			if h := bkt.head; h != nil && (cand == nil || h.key < cand.key) {
+				cand = h
+			}
+		}
+	} else if bkt := b.exact[bucketKey{ctx: spec.ctx, source: spec.Source, tag: spec.Tag}]; bkt != nil {
+		cand = bkt.head
+	}
+	if cand == nil {
+		return false, nil
+	}
+	return true, cand.m
 }
 
 // pending reports the number of queued messages (diagnostics/tests).
 func (b *mailbox) pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.queue)
+	return b.count
 }
 
 // pendingApp reports the number of queued application messages (tag >= 0)
@@ -140,10 +485,25 @@ func (b *mailbox) pendingApp(ctx int64) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	n := 0
-	for _, m := range b.queue {
-		if m.ctx == ctx && m.Tag >= 0 {
+	for q := b.head; q != nil; q = q.next {
+		if q.m.ctx == ctx && q.m.Tag >= 0 {
 			n++
 		}
 	}
 	return n
+}
+
+// ensureIndexed links every not-yet-indexed node into its bucket. Walking
+// head to tail keeps each bucket sorted by master order (see the mailbox
+// doc comment for why an unindexed node can never precede an indexed
+// bucket-mate).
+func (b *mailbox) ensureIndexed() {
+	if b.indexed == b.count {
+		return
+	}
+	for q := b.head; q != nil; q = q.next {
+		if q.bkt == nil {
+			b.bucketAppend(q)
+		}
+	}
 }

@@ -51,13 +51,19 @@ type Options struct {
 	// KillPlan maps rank -> operation index (1-based count of that rank's
 	// substrate operations) at which the rank stop-fails.
 	KillPlan map[int]int64
+	// NewTransport, when non-nil, builds the wire substrate for the world;
+	// nil selects the in-process indexed-mailbox transport. Alternative
+	// backends (latency models, cross-process shims) plug in here without
+	// the communicator or protocol layers changing.
+	NewTransport func(*World) Transport
 }
 
-// World owns the mailboxes and failure state for one incarnation of the
+// World owns the transport and failure state for one incarnation of the
 // computation. A rollback discards the World and builds a fresh one.
 type World struct {
 	size  int
-	boxes []*mailbox
+	tr    Transport
+	boxes []*mailbox // in-process transport's mailboxes (tests/diagnostics); nil for custom transports
 	opts  Options
 
 	dead    atomic.Bool
@@ -80,19 +86,25 @@ func NewWorld(n int, opts Options) *World {
 	}
 	w := &World{
 		size:    n,
-		boxes:   make([]*mailbox, n),
 		opts:    opts,
 		killed:  make([]atomic.Bool, n),
 		opCount: make([]atomic.Int64, n),
 	}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox(w)
-	}
 	if opts.ChaosSeed != 0 {
 		w.chaos = rand.New(rand.NewSource(opts.ChaosSeed))
 	}
+	if opts.NewTransport != nil {
+		w.tr = opts.NewTransport(w)
+	} else {
+		inproc := newInprocTransport(w)
+		w.tr = inproc
+		w.boxes = inproc.boxes
+	}
 	return w
 }
+
+// Transport returns the wire substrate the world runs on.
+func (w *World) Transport() Transport { return w.tr }
 
 // Size reports the number of ranks.
 func (w *World) Size() int { return w.size }
@@ -123,12 +135,14 @@ func (w *World) Kill(rank int) { w.killed[rank].Store(true) }
 // calls this once the failure detector has fired.
 func (w *World) Shutdown() {
 	w.dead.Store(true)
-	for _, b := range w.boxes {
-		b.mu.Lock()
-		b.cond.Broadcast()
-		b.mu.Unlock()
-	}
+	w.tr.Interrupt()
 }
+
+// Interrupt wakes every blocked receiver without changing any state, so
+// conditions passed to Comm.SelectWait are re-evaluated. The engine uses
+// this as its completion signal to finished ranks parked in event-driven
+// control servicing.
+func (w *World) Interrupt() { w.tr.Interrupt() }
 
 // Dead reports whether Shutdown has been called.
 func (w *World) Dead() bool { return w.dead.Load() }
@@ -162,40 +176,4 @@ func (w *World) enter(rank int) {
 		w.failMu.Unlock()
 		panic(ErrKilled)
 	}
-}
-
-// chaosSlot returns a random insertion offset for adversarial reordering,
-// or -1 for normal (append) delivery. Reordering respects MPI's
-// non-overtaking guarantee: two messages from the same sender on the same
-// communicator are matched in send order, so an arriving message may only
-// be inserted ahead of undelivered messages from *other* senders (and only
-// within its own communicator context, since cross-communicator ordering
-// cannot be compared). What remains is exactly the network's legal
-// nondeterminism: the arrival interleaving across senders.
-func (w *World) chaosSlot(m *Message, queue []*Message) int {
-	if w.chaos == nil || len(queue) == 0 {
-		return -1
-	}
-	if m.Tag < 0 && !w.opts.ChaosAll {
-		return -1
-	}
-	// The message may land anywhere in the longest queue suffix consisting
-	// of same-context messages from other senders.
-	lo := len(queue)
-	for lo > 0 {
-		q := queue[lo-1]
-		if q.ctx != m.ctx || q.Source == m.Source {
-			break
-		}
-		lo--
-	}
-	if lo == len(queue) {
-		return -1
-	}
-	w.chaosMu.Lock()
-	defer w.chaosMu.Unlock()
-	if w.chaos.Intn(2) == 0 {
-		return -1
-	}
-	return lo + w.chaos.Intn(len(queue)-lo)
 }

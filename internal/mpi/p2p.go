@@ -35,16 +35,44 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	c.send(dst, tag, data)
 }
 
-// send is Send without the operation-counter entry hook; collectives use it
-// so that one collective counts as one operation for kill plans.
+// SendHdr is Send with an out-of-band 32-bit header word (the second
+// segment of the wire format). The protocol layer packs its piggyback here
+// instead of prepending it to the payload, so attaching control
+// information costs no extra allocation or copy.
+func (c *Comm) SendHdr(dst, tag int, header uint32, data []byte) {
+	c.world.enter(c.members[c.myIdx])
+	c.sendh(dst, tag, header, data)
+}
+
+// SendShared delivers data without the defensive copy: the caller hands
+// the buffer over and must not modify it after the call (the receiver, and
+// anyone the caller deliberately shares it with, see the same bytes). This
+// is the zero-copy handoff a real transport performs when the send buffer
+// is DMA-ready; SenderLog uses it to share one immutable buffer between
+// its retained log entry and the wire.
+func (c *Comm) SendShared(dst, tag int, data []byte) {
+	c.world.enter(c.members[c.myIdx])
+	wdst := c.worldRank(dst)
+	if c.world.killed[wdst].Load() {
+		return
+	}
+	c.world.tr.Send(wdst, &Message{Source: c.myIdx, Tag: tag, Data: data, ctx: c.ctx})
+}
+
+// send is the uncounted send core; collectives use it so that one
+// collective counts as one operation for kill plans.
 func (c *Comm) send(dst, tag int, data []byte) {
+	c.sendh(dst, tag, 0, data)
+}
+
+func (c *Comm) sendh(dst, tag int, header uint32, data []byte) {
 	wdst := c.worldRank(dst)
 	if c.world.killed[wdst].Load() {
 		return // stopping failure: the destination no longer receives
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	c.world.boxes[wdst].deliver(&Message{Source: c.myIdx, Tag: tag, Data: cp, ctx: c.ctx})
+	c.world.tr.Send(wdst, &Message{Source: c.myIdx, Tag: tag, Header: header, Data: cp, ctx: c.ctx})
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns it.
@@ -55,7 +83,7 @@ func (c *Comm) Recv(src, tag int) *Message {
 }
 
 func (c *Comm) recv(src, tag int) *Message {
-	_, m := c.box().await([]RecvSpec{{Source: src, Tag: tag, ctx: c.ctx}})
+	_, m := c.world.tr.Await(c.members[c.myIdx], c.spec1(RecvSpec{Source: src, Tag: tag}))
 	return m
 }
 
@@ -92,7 +120,7 @@ func (c *Comm) wait(r *Request) *Message {
 		r.done = true
 		return nil
 	}
-	_, m := c.box().await([]RecvSpec{*r.recv})
+	_, m := c.world.tr.Await(c.members[c.myIdx], c.spec1(*r.recv))
 	r.done = true
 	r.msg = m
 	return m
@@ -108,7 +136,7 @@ func (c *Comm) Test(r *Request) (*Message, bool) {
 		r.done = true
 		return nil, true
 	}
-	if _, m := c.box().poll([]RecvSpec{*r.recv}); m != nil {
+	if _, m := c.world.tr.Poll(c.members[c.myIdx], c.spec1(*r.recv)); m != nil {
 		r.done = true
 		r.msg = m
 		return m, true
@@ -130,7 +158,7 @@ func (c *Comm) Waitall(rs []*Request) []*Message {
 // without receiving it.
 func (c *Comm) Iprobe(src, tag int) (bool, *Message) {
 	c.world.enter(c.members[c.myIdx])
-	return c.box().probe(RecvSpec{Source: src, Tag: tag, ctx: c.ctx})
+	return c.world.tr.Probe(c.members[c.myIdx], RecvSpec{Source: src, Tag: tag, ctx: c.ctx})
 }
 
 // Select blocks until a message matching any of the given (source, tag)
@@ -139,36 +167,60 @@ func (c *Comm) Iprobe(src, tag int) (bool, *Message) {
 // control messages simultaneously.
 func (c *Comm) Select(specs []RecvSpec) (int, *Message) {
 	c.world.enter(c.members[c.myIdx])
-	withCtx := make([]RecvSpec, len(specs))
-	for i, s := range specs {
-		s.ctx = c.ctx
-		withCtx[i] = s
-	}
-	return c.box().await(withCtx)
+	return c.world.tr.Await(c.members[c.myIdx], c.stamp(specs))
+}
+
+// SelectWait is Select with a cancellation condition: it also returns
+// (-1, nil) once stop() reports true. stop is re-evaluated whenever a
+// message arrives or World.Interrupt runs, so a caller can park here and
+// be woken by either control traffic or an external completion signal —
+// the engine's finished ranks do exactly that instead of busy-polling.
+func (c *Comm) SelectWait(specs []RecvSpec, stop func() bool) (int, *Message) {
+	c.world.enter(c.members[c.myIdx])
+	return c.world.tr.AwaitCond(c.members[c.myIdx], c.stamp(specs), stop)
 }
 
 // PollSelect is the non-blocking variant of Select; it returns (-1, nil)
 // when nothing matches.
 func (c *Comm) PollSelect(specs []RecvSpec) (int, *Message) {
 	c.world.enter(c.members[c.myIdx])
-	withCtx := make([]RecvSpec, len(specs))
+	return c.world.tr.Poll(c.members[c.myIdx], c.stamp(specs))
+}
+
+// stamp copies specs into the communicator's scratch buffer with this
+// communicator's context filled in. The scratch is reused across calls —
+// a Comm serves one rank's single-threaded program, so per-call slice
+// allocations on the receive hot path would be pure overhead.
+func (c *Comm) stamp(specs []RecvSpec) []RecvSpec {
+	if cap(c.scratch) < len(specs) {
+		c.scratch = make([]RecvSpec, len(specs))
+	}
+	out := c.scratch[:len(specs)]
 	for i, s := range specs {
 		s.ctx = c.ctx
-		withCtx[i] = s
+		out[i] = s
 	}
-	return c.box().poll(withCtx)
+	return out
+}
+
+// spec1 stamps a single spec into the scratch buffer.
+func (c *Comm) spec1(s RecvSpec) []RecvSpec {
+	if cap(c.scratch) < 1 {
+		c.scratch = make([]RecvSpec, 1)
+	}
+	s.ctx = c.ctx
+	c.scratch[0] = s
+	return c.scratch[:1]
 }
 
 // Pending reports the number of undelivered messages queued for this rank
 // across all communicators (diagnostics).
-func (c *Comm) Pending() int { return c.box().pending() }
+func (c *Comm) Pending() int { return c.world.tr.Pending(c.members[c.myIdx]) }
 
 // PendingApp reports the number of undelivered application messages
 // (non-negative tags) queued for this rank on this communicator, excluding
 // internal collective and reserved-tag traffic.
-func (c *Comm) PendingApp() int { return c.box().pendingApp(c.ctx) }
-
-func (c *Comm) box() *mailbox { return c.world.boxes[c.members[c.myIdx]] }
+func (c *Comm) PendingApp() int { return c.world.tr.PendingApp(c.members[c.myIdx], c.ctx) }
 
 func (c *Comm) String() string {
 	return fmt.Sprintf("comm(ctx=%d rank=%d/%d)", c.ctx, c.myIdx, len(c.members))

@@ -1,0 +1,94 @@
+package mpi
+
+// Transport is the wire substrate beneath a World: it moves wire messages
+// between ranks and implements matched receive. The default is the
+// in-process indexed-mailbox transport; alternative backends (latency
+// models, cross-process shims) plug in through Options.NewTransport
+// without the layers above — Comm, the protocol layer, the engine —
+// changing at all.
+//
+// Contract every implementation must honor:
+//
+//   - Delivery is reliable and eager: Send completes once the message is
+//     queued at the destination; the *Message (including Data) is owned by
+//     the transport from that point and by the receiver after matching
+//     (read-only when the buffer was handed over via Comm.SendShared).
+//   - Per-(sender, context) order is preserved (MPI's non-overtaking
+//     guarantee); cross-sender interleaving is unconstrained.
+//   - Matching semantics are those of matchOrder: the queued message
+//     earliest in delivery order that satisfies any spec wins, and ties
+//     between specs go to the lowest spec index.
+//   - Blocking calls must panic with ErrWorldDead once the world is shut
+//     down, and re-check their condition whenever Interrupt is called.
+type Transport interface {
+	// Send queues m at dst's mailbox. The transport takes ownership of m.
+	Send(dst int, m *Message)
+	// Await blocks rank until a message matching one of specs is queued,
+	// removes and returns it together with the index of the matched spec.
+	Await(rank int, specs []RecvSpec) (int, *Message)
+	// AwaitCond is Await with a cancellation condition: it additionally
+	// returns (-1, nil) once stop() reports true. stop is re-evaluated
+	// under the mailbox lock whenever a message arrives or Interrupt runs.
+	AwaitCond(rank int, specs []RecvSpec, stop func() bool) (int, *Message)
+	// Poll is the non-blocking Await; (-1, nil) when nothing matches.
+	Poll(rank int, specs []RecvSpec) (int, *Message)
+	// Probe reports whether a message matching spec is queued for rank,
+	// without removing it.
+	Probe(rank int, spec RecvSpec) (bool, *Message)
+	// Pending reports the number of queued messages for rank; PendingApp
+	// restricts the count to application messages (Tag >= 0) on ctx.
+	Pending(rank int) int
+	PendingApp(rank int, ctx int64) int
+	// Interrupt wakes every blocked receiver so AwaitCond conditions and
+	// world-death are re-observed. Shutdown and the engine's completion
+	// signal both route through here.
+	Interrupt()
+}
+
+// inprocTransport is the default substrate: one indexed mailbox per rank
+// in shared memory. It consults the World for chaos insertion and
+// world-death.
+type inprocTransport struct {
+	world *World
+	boxes []*mailbox
+}
+
+func newInprocTransport(w *World) *inprocTransport {
+	t := &inprocTransport{world: w, boxes: make([]*mailbox, w.size)}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox(w)
+	}
+	return t
+}
+
+func (t *inprocTransport) Send(dst int, m *Message) { t.boxes[dst].deliver(m) }
+
+func (t *inprocTransport) Await(rank int, specs []RecvSpec) (int, *Message) {
+	return t.boxes[rank].await(specs)
+}
+
+func (t *inprocTransport) AwaitCond(rank int, specs []RecvSpec, stop func() bool) (int, *Message) {
+	return t.boxes[rank].awaitCond(specs, stop)
+}
+
+func (t *inprocTransport) Poll(rank int, specs []RecvSpec) (int, *Message) {
+	return t.boxes[rank].poll(specs)
+}
+
+func (t *inprocTransport) Probe(rank int, spec RecvSpec) (bool, *Message) {
+	return t.boxes[rank].probe(spec)
+}
+
+func (t *inprocTransport) Pending(rank int) int { return t.boxes[rank].pending() }
+
+func (t *inprocTransport) PendingApp(rank int, ctx int64) int {
+	return t.boxes[rank].pendingApp(ctx)
+}
+
+func (t *inprocTransport) Interrupt() {
+	for _, b := range t.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}

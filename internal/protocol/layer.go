@@ -143,6 +143,10 @@ type Layer struct {
 	// Initiator state (rank 0 only).
 	init *initiatorState
 
+	// selSpecs is the reusable receive-spec buffer for the app+control
+	// Select on the receive hot path.
+	selSpecs []mpi.RecvSpec
+
 	// Completion: once the application on this rank has finished, the
 	// layer only services control traffic.
 	finished bool
@@ -458,10 +462,10 @@ func (l *Layer) takeCheckpoint() {
 // layer only services control traffic via ServiceControl.
 func (l *Layer) Finish() { l.finished = true }
 
-// ServiceControl processes pending control traffic once; finished ranks
-// call it in a loop until the whole computation completes, so that
-// checkpoints initiated while other ranks are still running do not stall
-// on this rank's silence.
+// ServiceControl processes pending control traffic once; callers that
+// poll on their own schedule (tests, external drivers) use this, while
+// finished ranks should prefer ServiceControlUntil, which blocks instead
+// of spinning.
 func (l *Layer) ServiceControl() {
 	if !l.active() {
 		return
@@ -469,5 +473,45 @@ func (l *Layer) ServiceControl() {
 	l.drainControl()
 	if l.init != nil {
 		l.maybeInitiate(false)
+	}
+}
+
+// ServiceControlUntil services control traffic until stop reports true,
+// parking on the transport in between: the rank wakes only when a control
+// message arrives, the world is interrupted (the engine's completion
+// signal), or — for an interval-triggered initiator — the next initiation
+// deadline passes. This replaces the finished-rank busy-poll: checkpoints
+// initiated while other ranks are still running cannot stall on this
+// rank's silence, and an idle rank consumes no CPU.
+func (l *Layer) ServiceControlUntil(stop func() bool) {
+	if !l.active() {
+		return
+	}
+	for {
+		l.drainControl()
+		if l.init != nil {
+			l.maybeInitiate(false)
+		}
+		if stop() {
+			return
+		}
+		wake := stop
+		var timer *time.Timer
+		if l.init != nil && l.cfg.Interval > 0 && !l.init.inProgress {
+			// The interval trigger must fire even with no inbound traffic;
+			// arm a one-shot wakeup for the next deadline instead of
+			// polling the clock.
+			deadline := l.init.lastStart.Add(l.cfg.Interval)
+			world := l.comm.World()
+			timer = time.AfterFunc(time.Until(deadline), world.Interrupt)
+			wake = func() bool { return stop() || !time.Now().Before(deadline) }
+		}
+		idx, m := l.comm.SelectWait(controlSpecs, wake)
+		if timer != nil {
+			timer.Stop()
+		}
+		if m != nil {
+			l.handleControl(idx, m)
+		}
 	}
 }

@@ -40,7 +40,9 @@ func (l *Layer) Send(dst, tag int, data []byte) {
 	pb := Piggyback{Color: l.color(), Logging: l.amLogging, MessageID: id}
 	l.Stats.PiggybackBytes += pbBytes
 	l.trace(TraceSend, dst, tag, id, len(data))
-	l.comm.Send(dst, tag, attach(pb, data))
+	// The packed piggyback travels in the wire message's header segment:
+	// attaching it costs no allocation or copy of the payload.
+	l.comm.SendHdr(dst, tag, pb.Pack(), data)
 }
 
 // Recv blocks until a message matching (src, tag) is delivered to the
@@ -80,15 +82,23 @@ func (l *Layer) recvApp(src, tag int) *AppMessage {
 			src, tag = e.Src, e.Tag
 		}
 	}
-	spec := mpi.RecvSpec{Source: src, Tag: tag}
 	for {
-		specs := append([]mpi.RecvSpec{spec}, controlSpecs...)
-		idx, m := l.comm.Select(specs)
+		idx, m := l.comm.Select(l.appSelectSpecs(src, tag))
 		if idx == 0 {
 			return l.deliver(m, src == mpi.AnySource || tag == mpi.AnyTag)
 		}
 		l.handleControl(idx-1, m)
 	}
+}
+
+// appSelectSpecs builds {app spec, control specs...} in the layer's
+// reusable buffer — this runs once per application receive, so a fresh
+// slice per call would put an allocation on the hot path.
+func (l *Layer) appSelectSpecs(src, tag int) []mpi.RecvSpec {
+	l.selSpecs = l.selSpecs[:0]
+	l.selSpecs = append(l.selSpecs, mpi.RecvSpec{Source: src, Tag: tag})
+	l.selSpecs = append(l.selSpecs, controlSpecs...)
+	return l.selSpecs
 }
 
 // deliver processes an incoming application message: strip the piggyback,
@@ -97,7 +107,9 @@ func (l *Layer) deliver(m *mpi.Message, wasWildcard bool) *AppMessage {
 	if l.replay != nil {
 		l.replay.ConsumeWildcard(l.recvSeq)
 	}
-	pb, payload := detach(m.Data)
+	// Zero-copy detach: the piggyback rides in the header segment and the
+	// payload is handed to the application as-is.
+	pb, payload := UnpackPiggyback(m.Header), m.Data
 	switch Classify(pb, l.color(), l.amLogging) {
 	case Early:
 		if l.cfg.Debug && l.amLogging {
@@ -216,8 +228,8 @@ func (l *Layer) Test(h Handle) (*AppMessage, bool) {
 			src, tag = e.Src, e.Tag
 		}
 	}
-	spec := mpi.RecvSpec{Source: src, Tag: tag}
-	if idx, m := l.comm.PollSelect([]mpi.RecvSpec{spec}); idx == 0 && m != nil {
+	l.selSpecs = append(l.selSpecs[:0], mpi.RecvSpec{Source: src, Tag: tag})
+	if idx, m := l.comm.PollSelect(l.selSpecs); idx == 0 && m != nil {
 		st.msg = l.deliver(m, st.src == mpi.AnySource || st.tag == mpi.AnyTag)
 		st.done = true
 		l.handles.release(h)

@@ -30,7 +30,11 @@ type Piggyback struct {
 
 // pbBytes is the wire size of the packed piggyback: the paper's optimized
 // encoding packs everything into a single 32-bit integer (two flag bits +
-// 30-bit message ID).
+// 30-bit message ID). On the live path the packed word travels in the
+// wire message's out-of-band header segment (mpi.Message.Header), so
+// attaching it never re-allocates or copies the payload; attach/detach
+// below are the byte-prefixed form of the same encoding, kept for
+// single-buffer serialization.
 const pbBytes = 4
 
 const (
