@@ -1,0 +1,108 @@
+// Command c3launch runs a benchmark application as a genuinely distributed
+// job: one OS process per rank, wire messages over TCP, checkpoints in a
+// shared on-disk store. A -kill flag delivers a real SIGKILL to the doomed
+// rank's process; the survivors detect the death (connection reset, then
+// heartbeat timeout), exit, and c3launch re-spawns the incarnation, which
+// restores itself from the last committed global checkpoint.
+//
+// Usage:
+//
+//	c3launch -app laplace -ranks 4 -size 64 -iters 40 -every 10
+//	c3launch -app laplace -ranks 4 -kill 2@100        # rank 2's process is
+//	                                                  # SIGKILLed at its op 100
+//	c3launch -app cg -store /tmp/ckpts -kill 2@400 -kill 1@900
+//
+// The same binary serves as the worker: c3launch re-execs itself with the
+// CCIFT_WORKER environment set (rank, world size, incarnation, rendezvous
+// directory, store directory), and the worker half builds its world from
+// that environment instead of spawning goroutines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccift/internal/apps"
+	"ccift/internal/launch"
+)
+
+type killList []launch.KillSpec
+
+func (k *killList) String() string { return fmt.Sprint(*k) }
+
+// Set parses rank@op; the i-th -kill flag applies to incarnation i, so a
+// sequence of flags exercises recovery from recovery.
+func (k *killList) Set(v string) error {
+	rank, op, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("want rank@op, got %q", v)
+	}
+	r, err := strconv.Atoi(rank)
+	if err != nil {
+		return err
+	}
+	o, err := strconv.ParseInt(op, 10, 64)
+	if err != nil {
+		return err
+	}
+	*k = append(*k, launch.KillSpec{Rank: r, AtOp: o, Incarnation: len(*k)})
+	return nil
+}
+
+func main() {
+	app := flag.String("app", "laplace", "application: cg, laplace, neurosys")
+	ranks := flag.Int("ranks", 4, "number of worker processes")
+	size := flag.Int("size", 0, "problem size (matrix/grid edge; neuron-grid edge for neurosys)")
+	iters := flag.Int("iters", 0, "iterations")
+	every := flag.Int("every", 0, "checkpoint every N PotentialCheckpoint calls on the initiator")
+	interval := flag.Duration("interval", 0, "checkpoint on a wall-clock interval")
+	storeDir := flag.String("store", "", "shared checkpoint directory (default: a scratch dir)")
+	detector := flag.Duration("detector", 2*time.Second, "heartbeat suspicion timeout")
+	seed := flag.Int64("seed", 0, "base seed for application randomness")
+	maxRestarts := flag.Int("max-restarts", 10, "bound on incarnation re-spawns")
+	verbose := flag.Bool("v", false, "log spawn/exit events")
+	var kills killList
+	flag.Var(&kills, "kill", "rank@op real-SIGKILL failure (repeatable; i-th flag = i-th incarnation)")
+	flag.Parse()
+
+	prog, stateBytes, err := apps.Build(*app, *ranks, *size, *iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
+		os.Exit(2)
+	}
+	everyN := *every
+	if everyN == 0 && *interval == 0 {
+		everyN = 25
+	}
+
+	if launch.IsWorker() {
+		launch.WorkerMain(launch.WorkerApp{
+			Prog:     prog,
+			EveryN:   everyN,
+			Interval: *interval,
+			Seed:     *seed,
+		})
+	}
+
+	fmt.Printf("c3launch: %s on %d rank processes, ~%s application state per rank, %d scheduled SIGKILL(s)\n",
+		*app, *ranks, launch.HumanBytes(stateBytes), len(kills))
+	start := time.Now()
+	res, err := launch.Run(launch.Config{
+		Args:            os.Args[1:],
+		Ranks:           *ranks,
+		StoreDir:        *storeDir,
+		Kills:           kills,
+		MaxRestarts:     *maxRestarts,
+		DetectorTimeout: *detector,
+		Verbose:         *verbose,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Summary(time.Since(start)))
+}

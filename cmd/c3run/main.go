@@ -8,9 +8,13 @@
 //	c3run -app cg -kill 2@400 -kill 1@900      # rank 2 dies at its op 400; after
 //	                                           # recovery, rank 1 dies at op 900
 //	c3run -app neurosys -store /tmp/ckpts      # checkpoints on disk
+//	c3run -app laplace -distributed -ranks 4   # one OS process per rank over
+//	                                           # TCP; -kill is a real SIGKILL
 //
 // The tool prints per-incarnation progress, the recovered epoch of each
-// restart, and the final protocol statistics.
+// restart, and the final protocol statistics. With -distributed it defers
+// to the process launcher (see cmd/c3launch), re-exec'ing itself as the
+// worker binary.
 package main
 
 import (
@@ -22,9 +26,8 @@ import (
 	"time"
 
 	"ccift"
-	"ccift/internal/apps/cg"
-	"ccift/internal/apps/laplace"
-	"ccift/internal/apps/neurosys"
+	"ccift/internal/apps"
+	"ccift/internal/launch"
 	"ccift/internal/trace"
 )
 
@@ -60,25 +63,41 @@ func main() {
 	interval := flag.Duration("interval", 0, "checkpoint on a wall-clock interval (the paper used 30s)")
 	storeDir := flag.String("store", "", "checkpoint directory (default: in memory)")
 	traceOut := flag.Bool("trace", false, "print a space-time diagram of protocol events")
+	distributed := flag.Bool("distributed", false, "run each rank as its own OS process over TCP (kills become real SIGKILLs)")
 	var kills killList
 	flag.Var(&kills, "kill", "rank@op stopping failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
 
-	prog, stateBytes, err := buildApp(*app, *ranks, *size, *iters)
+	prog, stateBytes, err := apps.Build(*app, *ranks, *size, *iters)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
 		os.Exit(2)
 	}
 
+	everyN := *every
+	if everyN == 0 && *interval == 0 {
+		everyN = 25
+	}
+	if launch.IsWorker() {
+		// This process is one rank of a -distributed run, re-exec'd by the
+		// launcher below (or by c3launch): build the world from the
+		// environment and never return.
+		launch.WorkerMain(launch.WorkerApp{Prog: prog, EveryN: everyN, Interval: *interval})
+	}
+	if *distributed {
+		if *traceOut {
+			fmt.Fprintln(os.Stderr, "c3run: -trace is not supported with -distributed (the recorder is in-process); ignoring")
+		}
+		runDistributed(*app, *ranks, stateBytes, *storeDir, kills)
+		return
+	}
+
 	cfg := ccift.Config{
 		Ranks:    *ranks,
 		Mode:     ccift.Full,
-		EveryN:   *every,
+		EveryN:   everyN,
 		Interval: *interval,
 		Failures: kills,
-	}
-	if cfg.EveryN == 0 && cfg.Interval == 0 {
-		cfg.EveryN = 25
 	}
 	var rec *trace.Recorder
 	if *traceOut {
@@ -95,7 +114,7 @@ func main() {
 	}
 
 	fmt.Printf("c3run: %s on %d ranks, ~%s application state per rank, %d injected failure(s)\n",
-		*app, *ranks, human(stateBytes), len(kills))
+		*app, *ranks, launch.HumanBytes(stateBytes), len(kills))
 	start := time.Now()
 	res, err := ccift.Run(cfg, prog)
 	if err != nil {
@@ -125,9 +144,9 @@ func main() {
 	}
 	fmt.Printf("result: %v\n", res.Values[0])
 	fmt.Printf("stats: %d msgs (%s), %d local checkpoints (%s), %d late logged (%s logs), %d replayed, %d sends suppressed\n",
-		total.MessagesSent, human(total.BytesSent),
-		total.CheckpointsTaken, human(total.CheckpointBytes),
-		total.LateLogged, human(total.LogBytes),
+		total.MessagesSent, launch.HumanBytes(total.BytesSent),
+		total.CheckpointsTaken, launch.HumanBytes(total.CheckpointBytes),
+		total.LateLogged, launch.HumanBytes(total.LogBytes),
 		total.ReplayedLate, total.SuppressedSends)
 	if rec != nil {
 		fmt.Printf("\nprotocol event summary:\n%s", rec.Summary())
@@ -135,47 +154,25 @@ func main() {
 	}
 }
 
-func buildApp(app string, ranks, size, iters int) (ccift.Program, int64, error) {
-	switch app {
-	case "cg":
-		if size == 0 {
-			size = 1024
-		}
-		if iters == 0 {
-			iters = 100
-		}
-		p := cg.Params{N: size, Iters: iters}
-		return cg.Program(p), int64(p.StateBytesPerRank(ranks)), nil
-	case "laplace":
-		if size == 0 {
-			size = 512
-		}
-		if iters == 0 {
-			iters = 300
-		}
-		p := laplace.Params{N: size, Iters: iters}
-		return laplace.Program(p), int64(p.StateBytesPerRank(ranks)), nil
-	case "neurosys":
-		if size == 0 {
-			size = 32
-		}
-		if iters == 0 {
-			iters = 300
-		}
-		p := neurosys.Params{K: size, Iters: iters}
-		return neurosys.Program(p), int64(p.StateBytesPerRank(ranks)), nil
-	default:
-		return nil, 0, fmt.Errorf("unknown app %q (want cg, laplace, neurosys)", app)
+// runDistributed defers to the process launcher: one OS process per rank,
+// this binary re-exec'd as the worker, kills delivered as real SIGKILLs.
+func runDistributed(app string, ranks int, stateBytes int64, storeDir string, kills killList) {
+	specs := make([]launch.KillSpec, len(kills))
+	for i, f := range kills {
+		specs[i] = launch.KillSpec{Rank: f.Rank, AtOp: f.AtOp, Incarnation: f.Incarnation}
 	}
-}
-
-func human(n int64) string {
-	switch {
-	case n >= 1<<20:
-		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
-	default:
-		return fmt.Sprintf("%dB", n)
+	fmt.Printf("c3run: %s on %d rank processes (distributed), ~%s application state per rank, %d scheduled SIGKILL(s)\n",
+		app, ranks, launch.HumanBytes(stateBytes), len(specs))
+	start := time.Now()
+	res, err := launch.Run(launch.Config{
+		Args:     os.Args[1:],
+		Ranks:    ranks,
+		StoreDir: storeDir,
+		Kills:    specs,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
+		os.Exit(1)
 	}
+	fmt.Print(res.Summary(time.Since(start)))
 }

@@ -1,0 +1,54 @@
+// Package apps registers the benchmark applications by name, so every
+// driver — the in-process c3run, the distributed c3launch, tests — builds
+// programs from one table instead of each keeping its own copy.
+package apps
+
+import (
+	"fmt"
+
+	"ccift/internal/apps/cg"
+	"ccift/internal/apps/laplace"
+	"ccift/internal/apps/neurosys"
+	"ccift/internal/engine"
+)
+
+// Names lists the registered applications.
+func Names() []string { return []string{"cg", "laplace", "neurosys"} }
+
+// Build resolves an application by name, applying the per-app default size
+// and iteration count when the caller passes zero. It returns the program
+// and the approximate serialized application state per rank (the number the
+// paper's Figure 8 annotates problem sizes with).
+func Build(app string, ranks, size, iters int) (engine.Program, int64, error) {
+	switch app {
+	case "cg":
+		if size == 0 {
+			size = 1024
+		}
+		if iters == 0 {
+			iters = 100
+		}
+		p := cg.Params{N: size, Iters: iters}
+		return cg.Program(p), int64(p.StateBytesPerRank(ranks)), nil
+	case "laplace":
+		if size == 0 {
+			size = 512
+		}
+		if iters == 0 {
+			iters = 300
+		}
+		p := laplace.Params{N: size, Iters: iters}
+		return laplace.Program(p), int64(p.StateBytesPerRank(ranks)), nil
+	case "neurosys":
+		if size == 0 {
+			size = 32
+		}
+		if iters == 0 {
+			iters = 300
+		}
+		p := neurosys.Params{K: size, Iters: iters}
+		return neurosys.Program(p), int64(p.StateBytesPerRank(ranks)), nil
+	default:
+		return nil, 0, fmt.Errorf("unknown app %q (want %v)", app, Names())
+	}
+}

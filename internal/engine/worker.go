@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ccift/internal/ckpt"
+	"ccift/internal/mpi"
+	"ccift/internal/protocol"
+	"ccift/internal/storage"
+)
+
+// This file is the cross-process half of the engine: where Run spawns every
+// rank as a goroutine in one address space, RunWorker drives exactly one
+// rank inside its own OS process, with the world constructed from the
+// launcher's environment (rank, size, incarnation, shared store) and the
+// wire substrate supplied by a cross-process Transport. The rollback loop
+// moves out of the process entirely — a launcher re-spawns the whole
+// incarnation — so everything here is one incarnation of one rank.
+
+// ErrIncarnationDead reports that the incarnation aborted: a peer (or this
+// rank's own kill plan, in simulated mode) stop-failed and the world was
+// shut down. The launcher responds by re-spawning everyone from the last
+// committed global checkpoint.
+var ErrIncarnationDead = errors.New("engine: incarnation aborted by a stop failure")
+
+// WorkerConfig configures one rank's process for one incarnation.
+type WorkerConfig struct {
+	// Rank is this process's world rank; Ranks is the world size.
+	Rank, Ranks int
+	// Incarnation numbers the launcher's spawn attempts, starting at 0.
+	Incarnation int
+	// Mode selects the protocol version; recovery requires Full.
+	Mode protocol.Mode
+	// Store is the stable storage shared by every rank's process (an
+	// on-disk store under the launcher's shared directory). Required.
+	Store storage.Stable
+	// EveryN / Interval are the initiator's checkpoint triggers.
+	EveryN   int
+	Interval time.Duration
+	// KillAtOp, when non-zero, schedules this rank's death at its
+	// KillAtOp-th substrate operation. Kill performs the death; the
+	// launcher's worker installs a real self-SIGKILL (which never returns),
+	// while tests may leave Kill nil to fall back to the simulated
+	// stop-failure panic.
+	KillAtOp int64
+	Kill     func()
+	// Seed is the base seed for application randomness (mixed with rank and
+	// incarnation exactly as the in-process engine does).
+	Seed int64
+	// Debug enables protocol assertions. Tracer receives protocol events.
+	Debug  bool
+	Tracer protocol.Tracer
+	// NewTransport builds the cross-process substrate (tcptransport.Attach).
+	// Required, as is Start, which brings the mesh up once the world exists.
+	NewTransport func(*mpi.World) mpi.Transport
+	Start        func() error
+	// AnnounceDone broadcasts this rank's completion to its peers; AllDone
+	// reports whether every rank has announced. Together they replace the
+	// in-process engine's finished counter. Both required.
+	AnnounceDone func()
+	AllDone      func() bool
+}
+
+// WorkerResult reports one completed (or aborted) worker incarnation.
+type WorkerResult struct {
+	// Value is the program's return value (nil when the incarnation died).
+	Value any
+	// RecoveredEpoch is the epoch this incarnation restored from, or -1
+	// when it started from the beginning.
+	RecoveredEpoch int
+	// Stats are the protocol-layer statistics of this rank.
+	Stats protocol.Stats
+}
+
+// RunWorker executes prog as one rank-process of a distributed world. It
+// restores from the newest committed checkpoint in the shared store when
+// one exists, runs the program, and services control traffic until every
+// rank announces completion. A stop failure anywhere in the world surfaces
+// as ErrIncarnationDead; the caller exits so its launcher can re-spawn the
+// incarnation.
+func RunWorker(cfg WorkerConfig, prog Program) (res WorkerResult, err error) {
+	res.RecoveredEpoch = -1
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Ranks || cfg.Ranks <= 0 {
+		return res, fmt.Errorf("engine: worker rank %d out of range [0,%d)", cfg.Rank, cfg.Ranks)
+	}
+	if cfg.Store == nil || cfg.NewTransport == nil || cfg.Start == nil || cfg.AnnounceDone == nil || cfg.AllDone == nil {
+		return res, errors.New("engine: worker requires Store, NewTransport, Start, AnnounceDone, and AllDone")
+	}
+	cs := storage.NewCheckpointStore(cfg.Store)
+	epoch, haveCkpt, err := cs.Committed()
+	if err != nil {
+		return res, err
+	}
+	restore := cfg.Incarnation > 0 && haveCkpt
+	if restore && cfg.Mode != protocol.Full {
+		return res, fmt.Errorf("engine: cannot recover from a checkpoint in mode %v", cfg.Mode)
+	}
+
+	// Recovery preparation reads only the shared store, so each worker
+	// computes its own inputs without a coordinator: the suppression list
+	// is every receiver's record of early messages this rank sent
+	// (Section 4.2), and the replicated values come from the primary's
+	// checkpoint (Section 7).
+	var suppress []uint32
+	var replicas map[string][]byte
+	if restore {
+		for r := 0; r < cfg.Ranks; r++ {
+			ids, err := protocol.LoadEarlyIDs(cs, epoch, r)
+			if err != nil {
+				return res, fmt.Errorf("engine: load early IDs of rank %d: %w", r, err)
+			}
+			suppress = append(suppress, ids[cfg.Rank]...)
+		}
+		primaryApp, err := protocol.LoadAppState(cs, epoch, 0)
+		if err != nil {
+			return res, fmt.Errorf("engine: load primary app state: %w", err)
+		}
+		if len(primaryApp) > 0 {
+			replicas, err = ckpt.ExtractReplicated(primaryApp)
+			if err != nil {
+				return res, fmt.Errorf("engine: extract replicated data: %w", err)
+			}
+		}
+		res.RecoveredEpoch = epoch
+	}
+
+	opts := mpi.Options{NewTransport: cfg.NewTransport}
+	if cfg.KillAtOp > 0 {
+		opts.KillPlan = map[int]int64{cfg.Rank: cfg.KillAtOp}
+		if cfg.Kill != nil {
+			opts.OnKill = func(int) { cfg.Kill() }
+		}
+	}
+	world := mpi.NewWorld(cfg.Ranks, opts)
+	if err := cfg.Start(); err != nil {
+		return res, fmt.Errorf("engine: start transport: %w", err)
+	}
+
+	// A stop failure is delivered by panic (ErrKilled for this rank's own
+	// simulated death, ErrWorldDead when a peer's death shut the world
+	// down); both mean the incarnation is over.
+	defer func() {
+		if p := recover(); p != nil {
+			switch p {
+			case mpi.ErrKilled, mpi.ErrWorldDead:
+				err = ErrIncarnationDead
+			default:
+				err = fmt.Errorf("engine: worker rank %d panicked: %v", cfg.Rank, p)
+			}
+		}
+	}()
+
+	layer := protocol.NewLayer(world.Comm(cfg.Rank), protocol.Config{
+		Mode:     cfg.Mode,
+		Store:    cs,
+		EveryN:   cfg.EveryN,
+		Interval: cfg.Interval,
+		Debug:    cfg.Debug,
+		Tracer:   cfg.Tracer,
+	})
+	rank := newRank(layer, cfg.Seed, cfg.Incarnation)
+	if restore {
+		app, err := layer.Restore(epoch, suppress)
+		if err != nil {
+			return res, fmt.Errorf("engine: rank %d restore: %w", cfg.Rank, err)
+		}
+		layer.Saver.VDS.SetReplicas(replicas)
+		if err := layer.Saver.StartRestore(app); err != nil {
+			return res, fmt.Errorf("engine: rank %d app restore: %w", cfg.Rank, err)
+		}
+		rank.restarting = true
+	}
+
+	v, perr := prog(rank)
+	if perr != nil {
+		return res, fmt.Errorf("engine: rank %d: %w", cfg.Rank, perr)
+	}
+	layer.Finish()
+	// Keep servicing protocol control traffic until every rank is done, so
+	// an in-flight global checkpoint does not stall on a rank that finished
+	// early — the distributed analogue of the in-process engine's
+	// finished-counter parking.
+	cfg.AnnounceDone()
+	layer.ServiceControlUntil(cfg.AllDone)
+	res.Value = v
+	res.Stats = layer.Stats
+	return res, nil
+}

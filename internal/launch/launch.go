@@ -1,0 +1,537 @@
+// Package launch runs a distributed world: N worker OS processes (the
+// launcher binary re-exec'd with worker environment variables), a full-mesh
+// TCP substrate between them, and a shared on-disk checkpoint store. It is
+// the process-level analogue of engine.Run's rollback loop — a kill plan
+// here delivers a real SIGKILL to a real process, the survivors detect the
+// death through connection resets and the heartbeat detector, and the
+// launcher re-spawns the incarnation, which restores itself from the last
+// committed global checkpoint.
+package launch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ccift/internal/engine"
+	"ccift/internal/mpi/tcptransport"
+	"ccift/internal/protocol"
+	"ccift/internal/storage"
+)
+
+// Worker environment. The launcher spawns its own binary with these set;
+// the binary's main detects IsWorker before doing anything else and runs
+// the worker role instead of launching.
+const (
+	envWorker      = "CCIFT_WORKER"      // "1" marks a worker process
+	envRank        = "CCIFT_RANK"        // world rank of this worker
+	envRanks       = "CCIFT_RANKS"       // world size
+	envIncarnation = "CCIFT_INCARNATION" // spawn attempt, from 0
+	envRendezvous  = "CCIFT_RDV_DIR"     // address-exchange directory (fresh per incarnation)
+	envStore       = "CCIFT_STORE_DIR"   // shared checkpoint directory
+	envKillAtOp    = "CCIFT_KILL_AT_OP"  // self-SIGKILL at this substrate op (doomed rank only)
+	envDetector    = "CCIFT_DETECTOR_MS" // heartbeat suspicion timeout, milliseconds
+)
+
+// Exit codes workers report back to the launcher.
+const (
+	exitOK       = 0
+	exitError    = 1 // program or configuration error: the launcher gives up
+	exitRollback = 3 // incarnation died (a peer stop-failed): re-spawn
+)
+
+// KillSpec schedules a real SIGKILL: the rank's process kills itself at its
+// AtOp-th substrate operation of the given incarnation.
+type KillSpec struct {
+	Rank        int
+	AtOp        int64
+	Incarnation int
+}
+
+// Config configures a distributed run.
+type Config struct {
+	// Exe is the worker binary; default os.Executable() (the launcher
+	// re-execs itself). Args are passed through to the worker so it can
+	// re-parse the same application flags.
+	Exe  string
+	Args []string
+	// Ranks is the number of worker processes. Required.
+	Ranks int
+	// StoreDir is the shared checkpoint directory; default a fresh
+	// directory under WorkDir. WorkDir is the scratch root (rendezvous
+	// files); default a fresh temp directory, removed on success.
+	StoreDir string
+	WorkDir  string
+	// Kills is the SIGKILL schedule.
+	Kills []KillSpec
+	// MaxRestarts bounds re-spawn attempts. Default 10.
+	MaxRestarts int
+	// DetectorTimeout is the workers' heartbeat suspicion timeout (the
+	// connection-reset fast path fires regardless). Default 2s.
+	DetectorTimeout time.Duration
+	// Stderr receives worker stderr (rank-prefixed); default os.Stderr.
+	// Verbose additionally echoes spawn/exit events there.
+	Stderr  io.Writer
+	Verbose bool
+}
+
+// IncarnationReport describes how one incarnation ended.
+type IncarnationReport struct {
+	// Exits holds each rank's exit description ("exit status 0",
+	// "signal: killed", ...). Codes holds the structured exit codes (-1
+	// when the rank died by signal); success is judged on these, never on
+	// the description strings.
+	Exits []string
+	Codes []int
+	// RecoveredEpoch is the committed epoch the *next* incarnation will
+	// restore from (-1 when none was committed yet).
+	RecoveredEpoch int
+}
+
+func (r *IncarnationReport) failed() bool {
+	for _, c := range r.Codes {
+		if c != exitOK {
+			return true
+		}
+	}
+	return false
+}
+
+// Result reports a completed distributed run.
+type Result struct {
+	// Output is rank 0's standard output (the result line).
+	Output string
+	// Restarts is the number of incarnations that died and were re-spawned.
+	Restarts int
+	// RecoveredEpochs lists the epoch each restart recovered from (-1 when
+	// the restart began from scratch).
+	RecoveredEpochs []int
+	// Incarnations describes every spawned incarnation, including the
+	// final successful one.
+	Incarnations []IncarnationReport
+}
+
+// Summary renders the run epilogue both driver CLIs print: elapsed time,
+// restart count, per-restart recovery provenance, and rank 0's output.
+func (r *Result) Summary(elapsed time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed in %.2fs with %d restart(s)\n", elapsed.Seconds(), r.Restarts)
+	for i, e := range r.RecoveredEpochs {
+		if e < 0 {
+			fmt.Fprintf(&b, "  restart %d: no committed checkpoint yet — restarted from the beginning\n", i+1)
+		} else {
+			fmt.Fprintf(&b, "  restart %d: recovered from global checkpoint %d\n", i+1, e)
+		}
+	}
+	b.WriteString(r.Output)
+	return b.String()
+}
+
+// HumanBytes renders a byte count for the drivers' headers.
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// ErrTooManyRestarts is returned when the failure schedule exhausts
+// MaxRestarts.
+var ErrTooManyRestarts = errors.New("launch: too many restarts")
+
+type workerExit struct {
+	rank   int
+	err    error // nil on exit 0
+	desc   string
+	code   int // -1 when signaled
+	signal bool
+}
+
+// Run launches cfg.Ranks worker processes and supervises them until the
+// job completes, re-spawning the whole incarnation whenever a process dies.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("launch: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Exe == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("launch: resolve worker binary: %w", err)
+		}
+		cfg.Exe = exe
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 10
+	}
+	if cfg.DetectorTimeout == 0 {
+		cfg.DetectorTimeout = 2 * time.Second
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+	cleanupWork := false
+	if cfg.WorkDir == "" {
+		dir, err := os.MkdirTemp("", "c3launch-*")
+		if err != nil {
+			return nil, fmt.Errorf("launch: scratch dir: %w", err)
+		}
+		cfg.WorkDir = dir
+		cleanupWork = true
+	}
+	if cfg.StoreDir == "" {
+		cfg.StoreDir = filepath.Join(cfg.WorkDir, "ckpt")
+	}
+	if err := os.MkdirAll(cfg.StoreDir, 0o755); err != nil {
+		return nil, fmt.Errorf("launch: store dir: %w", err)
+	}
+	// A reused store directory may hold a previous job's commit record;
+	// restoring it into this job would resume foreign state. Checkpoints
+	// are reachable only through the commit record, so clearing it is
+	// enough — this job's epochs overwrite the old blobs as they go.
+	disk, err := storage.NewDisk(cfg.StoreDir)
+	if err != nil {
+		return nil, fmt.Errorf("launch: open store: %w", err)
+	}
+	if err := storage.NewCheckpointStore(disk).ClearCommit(); err != nil {
+		return nil, fmt.Errorf("launch: clear stale commit record: %w", err)
+	}
+
+	res := &Result{}
+	for incarnation := 0; ; incarnation++ {
+		if incarnation > cfg.MaxRestarts {
+			return nil, fmt.Errorf("%w (%d)", ErrTooManyRestarts, cfg.MaxRestarts)
+		}
+		report, out, err := runIncarnation(cfg, incarnation)
+		if report != nil {
+			res.Incarnations = append(res.Incarnations, *report)
+		}
+		if err == nil && report.failed() {
+			// The incarnation died; read what the next one will recover
+			// from and go again.
+			epoch := committedEpoch(cfg.StoreDir)
+			report.RecoveredEpoch = epoch
+			res.Restarts++
+			res.RecoveredEpochs = append(res.RecoveredEpochs, epoch)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Output = out
+		if cleanupWork {
+			os.RemoveAll(cfg.WorkDir)
+		}
+		return res, nil
+	}
+}
+
+// committedEpoch reads the shared store's commit record (-1 when none).
+func committedEpoch(storeDir string) int {
+	disk, err := storage.NewDisk(storeDir)
+	if err != nil {
+		return -1
+	}
+	epoch, ok, err := storage.NewCheckpointStore(disk).Committed()
+	if err != nil || !ok {
+		return -1
+	}
+	return epoch
+}
+
+// runIncarnation spawns one full set of worker processes and waits for all
+// of them to exit. It returns an error only for non-recoverable outcomes
+// (spawn failure, a worker reporting a program error); a died incarnation
+// is a nil error with report.failed() true.
+func runIncarnation(cfg Config, incarnation int) (*IncarnationReport, string, error) {
+	rdv := filepath.Join(cfg.WorkDir, "rdv", strconv.Itoa(incarnation))
+	if err := os.MkdirAll(rdv, 0o755); err != nil {
+		return nil, "", fmt.Errorf("launch: rendezvous dir: %w", err)
+	}
+
+	kill := map[int]int64{}
+	for _, k := range cfg.Kills {
+		if k.Incarnation == incarnation {
+			kill[k.Rank] = k.AtOp
+		}
+	}
+
+	cmds := make([]*exec.Cmd, cfg.Ranks)
+	var rank0Out bytes.Buffer
+	exits := make(chan workerExit, cfg.Ranks)
+	var wg sync.WaitGroup
+	var liveMu sync.Mutex
+	live := make([]bool, cfg.Ranks)
+	var errMu sync.Mutex // serializes rank-prefixed stderr lines
+	logf := func(format string, args ...any) {
+		errMu.Lock()
+		fmt.Fprintf(cfg.Stderr, format, args...)
+		errMu.Unlock()
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		cmd := exec.Command(cfg.Exe, cfg.Args...)
+		cmd.Env = append(os.Environ(),
+			envWorker+"=1",
+			envRank+"="+strconv.Itoa(r),
+			envRanks+"="+strconv.Itoa(cfg.Ranks),
+			envIncarnation+"="+strconv.Itoa(incarnation),
+			envRendezvous+"="+rdv,
+			envStore+"="+cfg.StoreDir,
+			envDetector+"="+strconv.FormatInt(cfg.DetectorTimeout.Milliseconds(), 10),
+		)
+		if op, doomed := kill[r]; doomed {
+			cmd.Env = append(cmd.Env, envKillAtOp+"="+strconv.FormatInt(op, 10))
+		}
+		if r == 0 {
+			cmd.Stdout = &rank0Out
+		}
+		cmd.Stderr = &prefixWriter{w: cfg.Stderr, mu: &errMu, prefix: fmt.Sprintf("[rank %d] ", r)}
+		if err := cmd.Start(); err != nil {
+			// Each started rank already has a watcher goroutine in Wait;
+			// killing is enough, double-Waiting would race it.
+			for _, c := range cmds[:r] {
+				c.Process.Kill()
+			}
+			return nil, "", fmt.Errorf("launch: spawn rank %d: %w", r, err)
+		}
+		if cfg.Verbose {
+			logf("c3launch: incarnation %d: rank %d is pid %d%s\n",
+				incarnation, r, cmd.Process.Pid, doomedNote(kill, r))
+		}
+		cmds[r] = cmd
+		live[r] = true
+		wg.Add(1)
+		go func(r int, cmd *exec.Cmd) {
+			defer wg.Done()
+			err := cmd.Wait()
+			liveMu.Lock()
+			live[r] = false
+			liveMu.Unlock()
+			ws := cmd.ProcessState
+			exits <- workerExit{
+				rank:   r,
+				err:    err,
+				desc:   ws.String(),
+				code:   ws.ExitCode(),
+				signal: !ws.Exited(),
+			}
+		}(r, cmd)
+	}
+
+	// Grace reaper: once any worker exits abnormally, the survivors should
+	// notice the death themselves (connection reset, then detector timeout)
+	// and exit with the rollback code; if one wedges past the grace period,
+	// SIGKILL it so the launcher can make progress.
+	grace := 4*cfg.DetectorTimeout + 10*time.Second
+	var reapOnce sync.Once
+	reapTimer := (*time.Timer)(nil)
+	armReaper := func() {
+		reapOnce.Do(func() {
+			reapTimer = time.AfterFunc(grace, func() {
+				liveMu.Lock()
+				defer liveMu.Unlock()
+				for r, c := range cmds {
+					if live[r] {
+						c.Process.Kill()
+					}
+				}
+			})
+		})
+	}
+
+	report := &IncarnationReport{
+		Exits:          make([]string, cfg.Ranks),
+		Codes:          make([]int, cfg.Ranks),
+		RecoveredEpoch: -1,
+	}
+	hardErr := false
+	for i := 0; i < cfg.Ranks; i++ {
+		e := <-exits
+		report.Exits[e.rank] = e.desc
+		report.Codes[e.rank] = e.code
+		if e.err != nil {
+			armReaper()
+			if !e.signal && e.code != exitRollback {
+				hardErr = true
+			}
+			if cfg.Verbose {
+				logf("c3launch: incarnation %d: rank %d exited: %s\n", incarnation, e.rank, e.desc)
+			}
+		}
+	}
+	wg.Wait()
+	if reapTimer != nil {
+		reapTimer.Stop()
+	}
+	if hardErr {
+		return report, "", fmt.Errorf("launch: incarnation %d failed hard: %s", incarnation, strings.Join(report.Exits, ", "))
+	}
+	return report, rank0Out.String(), nil
+}
+
+func doomedNote(kill map[int]int64, r int) string {
+	if op, ok := kill[r]; ok {
+		return fmt.Sprintf(" (SIGKILL at op %d)", op)
+	}
+	return ""
+}
+
+// prefixWriter prefixes every line with the rank tag so interleaved worker
+// stderr stays attributable; the shared mutex keeps ranks' lines whole.
+type prefixWriter struct {
+	w      io.Writer
+	mu     *sync.Mutex
+	prefix string
+	mid    bool // last write ended mid-line
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(b)
+	for len(b) > 0 {
+		if !p.mid {
+			io.WriteString(p.w, p.prefix)
+			p.mid = true
+		}
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			p.w.Write(b)
+			break
+		}
+		p.w.Write(b[:i+1])
+		p.mid = false
+		b = b[i+1:]
+	}
+	return n, nil
+}
+
+// --- worker role ---
+
+// IsWorker reports whether this process was spawned as a launch worker.
+// Binaries that can act as launchers must check this first thing in main.
+func IsWorker() bool { return os.Getenv(envWorker) == "1" }
+
+// WorkerApp carries the application-level configuration a worker main
+// resolves from its (re-parsed) flags.
+type WorkerApp struct {
+	Prog     engine.Program
+	EveryN   int
+	Interval time.Duration
+	Seed     int64
+	Debug    bool
+}
+
+// WorkerMain runs the worker role to completion and exits the process with
+// the launch protocol's exit code. It never returns.
+func WorkerMain(app WorkerApp) {
+	code, err := workerRun(app)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+	}
+	os.Exit(code)
+}
+
+func workerRun(app WorkerApp) (int, error) {
+	rank, err1 := envInt(envRank)
+	ranks, err2 := envInt(envRanks)
+	incarnation, err3 := envInt(envIncarnation)
+	if err := errors.Join(err1, err2, err3); err != nil {
+		return exitError, err
+	}
+	rdv := os.Getenv(envRendezvous)
+	storeDir := os.Getenv(envStore)
+	if rdv == "" || storeDir == "" {
+		return exitError, fmt.Errorf("missing %s or %s", envRendezvous, envStore)
+	}
+	detectorMS, _ := envInt(envDetector)
+	if detectorMS <= 0 {
+		detectorMS = 2000
+	}
+	var killAtOp int64
+	if v := os.Getenv(envKillAtOp); v != "" {
+		killAtOp, _ = strconv.ParseInt(v, 10, 64)
+	}
+
+	store, err := storage.NewDisk(storeDir)
+	if err != nil {
+		return exitError, err
+	}
+	publish, lookup := tcptransport.FileRendezvous(rdv, 30*time.Second)
+	tr, err := tcptransport.New(tcptransport.Config{
+		Rank: rank, Size: ranks,
+		Publish: publish, Lookup: lookup,
+		SuspectTimeout: time.Duration(detectorMS) * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tcptransport: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return exitError, err
+	}
+	defer tr.Close()
+
+	res, err := engine.RunWorker(engine.WorkerConfig{
+		Rank: rank, Ranks: ranks,
+		Incarnation: incarnation,
+		Mode:        protocol.Full,
+		Store:       store,
+		EveryN:      app.EveryN,
+		Interval:    app.Interval,
+		KillAtOp:    killAtOp,
+		Kill: func() {
+			// A real stopping failure: no deferred cleanup, no recover, no
+			// goodbye on the sockets — the kernel reaps the process and
+			// peers see connection resets.
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // unreachable: SIGKILL cannot be handled
+		},
+		Seed:         app.Seed,
+		Debug:        app.Debug,
+		NewTransport: tr.Attach,
+		Start:        tr.Start,
+		AnnounceDone: tr.AnnounceDone,
+		AllDone:      tr.AllDone,
+	}, app.Prog)
+	switch {
+	case errors.Is(err, engine.ErrIncarnationDead):
+		if res.RecoveredEpoch >= 0 {
+			fmt.Fprintf(os.Stderr, "rank %d: incarnation %d (recovered from epoch %d) died; awaiting re-spawn\n",
+				rank, incarnation, res.RecoveredEpoch)
+		}
+		return exitRollback, nil
+	case err != nil:
+		return exitError, err
+	}
+	if rank == 0 {
+		if res.RecoveredEpoch >= 0 {
+			fmt.Fprintf(os.Stderr, "rank 0: incarnation %d recovered from global checkpoint %d\n", incarnation, res.RecoveredEpoch)
+		}
+		fmt.Printf("result: %v\n", res.Value)
+	}
+	return exitOK, nil
+}
+
+func envInt(key string) (int, error) {
+	v := os.Getenv(key)
+	if v == "" {
+		return 0, fmt.Errorf("missing env %s", key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad env %s=%q: %w", key, v, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,164 @@
+package launch_test
+
+// End-to-end distributed recovery: the test binary re-execs itself as the
+// worker (TestMain's IsWorker branch), so every rank is a real OS process
+// and a kill plan is a real SIGKILL. The assertions pin the acceptance
+// criteria: the doomed rank demonstrably dies by signal, the survivors roll
+// the job back, and the recovered run's output is identical to a fault-free
+// run's.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccift/internal/apps"
+	"ccift/internal/launch"
+)
+
+// Worker parameters shared by every spawned rank (the worker rebuilds the
+// same program the launcher-side assertions assume).
+const (
+	testRanks  = 4
+	testSize   = 64
+	testIters  = 40
+	testEveryN = 10
+)
+
+func TestMain(m *testing.M) {
+	if launch.IsWorker() {
+		prog, _, err := apps.Build("laplace", testRanks, testSize, testIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		launch.WorkerMain(launch.WorkerApp{Prog: prog, EveryN: testEveryN})
+	}
+	os.Exit(m.Run())
+}
+
+func runLaplace(t *testing.T, kills []launch.KillSpec) *launch.Result {
+	t.Helper()
+	res, err := launch.Run(launch.Config{
+		Ranks:  testRanks,
+		Kills:  kills,
+		Stderr: io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("launch.Run(kills=%v): %v", kills, err)
+	}
+	return res
+}
+
+func TestDistributedFaultFree(t *testing.T) {
+	res := runLaplace(t, nil)
+	if res.Restarts != 0 {
+		t.Fatalf("fault-free run restarted %d times", res.Restarts)
+	}
+	if !strings.HasPrefix(res.Output, "result: ") {
+		t.Fatalf("rank 0 output %q, want a result line", res.Output)
+	}
+	for r, e := range res.Incarnations[0].Exits {
+		if e != "exit status 0" {
+			t.Fatalf("rank %d exited %q in a fault-free run", r, e)
+		}
+	}
+}
+
+func TestDistributedSIGKILLRecovery(t *testing.T) {
+	baseline := runLaplace(t, nil)
+
+	// Kill rank 2's process at its op 100 — before the first commit, so the
+	// re-spawned incarnation restarts from the beginning.
+	early := runLaplace(t, []launch.KillSpec{{Rank: 2, AtOp: 100, Incarnation: 0}})
+	if early.Restarts != 1 {
+		t.Fatalf("early kill: %d restarts, want 1", early.Restarts)
+	}
+	if got := early.Incarnations[0].Exits[2]; got != "signal: killed" {
+		t.Fatalf("doomed rank exited %q, want a real SIGKILL (signal: killed)", got)
+	}
+	for _, r := range []int{0, 1, 3} {
+		if got := early.Incarnations[0].Exits[r]; got != "exit status 3" {
+			t.Fatalf("survivor rank %d exited %q, want rollback exit (status 3)", r, got)
+		}
+	}
+	if early.Output != baseline.Output {
+		t.Fatalf("recovered output %q != fault-free output %q", early.Output, baseline.Output)
+	}
+
+	// Kill late enough that a global checkpoint has committed: recovery
+	// must restore from it rather than restarting from scratch.
+	late := runLaplace(t, []launch.KillSpec{{Rank: 2, AtOp: 300, Incarnation: 0}})
+	if late.Restarts != 1 {
+		t.Fatalf("late kill: %d restarts, want 1", late.Restarts)
+	}
+	if len(late.RecoveredEpochs) != 1 || late.RecoveredEpochs[0] < 1 {
+		t.Fatalf("late kill recovered epochs %v, want one committed epoch >= 1", late.RecoveredEpochs)
+	}
+	if late.Output != baseline.Output {
+		t.Fatalf("checkpoint-recovered output %q != fault-free output %q", late.Output, baseline.Output)
+	}
+}
+
+// TestReusedStoreIgnoresStaleCommit: a checkpoint directory left over from
+// a previous job must not leak into a new one. The first job commits
+// checkpoints into the shared store; the second job (same directory) is
+// killed before its own first commit, so its rollback must restart from
+// the beginning — RecoveredEpochs[-1] would instead name the previous
+// job's final epoch if the stale commit record were honored.
+func TestReusedStoreIgnoresStaleCommit(t *testing.T) {
+	baseline := runLaplace(t, nil)
+	store := filepath.Join(t.TempDir(), "ckpt")
+
+	first, err := launch.Run(launch.Config{
+		Ranks:    testRanks,
+		StoreDir: store,
+		Kills:    []launch.KillSpec{{Rank: 2, AtOp: 300, Incarnation: 0}},
+		Stderr:   io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	if len(first.RecoveredEpochs) != 1 || first.RecoveredEpochs[0] < 1 {
+		t.Fatalf("first job recovered epochs %v, want a committed epoch (the store must hold commits)", first.RecoveredEpochs)
+	}
+
+	second, err := launch.Run(launch.Config{
+		Ranks:    testRanks,
+		StoreDir: store,
+		Kills:    []launch.KillSpec{{Rank: 2, AtOp: 100, Incarnation: 0}},
+		Stderr:   io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("second job: %v", err)
+	}
+	if len(second.RecoveredEpochs) != 1 || second.RecoveredEpochs[0] != -1 {
+		t.Fatalf("second job recovered epochs %v, want [-1]: the previous job's commit record leaked in", second.RecoveredEpochs)
+	}
+	if second.Output != baseline.Output {
+		t.Fatalf("second job output %q != fault-free output %q", second.Output, baseline.Output)
+	}
+}
+
+func TestDistributedKillChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three incarnations of real processes; covered by the single-kill test in -short")
+	}
+	baseline := runLaplace(t, nil)
+	res := runLaplace(t, []launch.KillSpec{
+		{Rank: 2, AtOp: 300, Incarnation: 0},
+		{Rank: 1, AtOp: 80, Incarnation: 1}, // recovery from recovery
+	})
+	if res.Restarts != 2 {
+		t.Fatalf("%d restarts, want 2", res.Restarts)
+	}
+	if got := res.Incarnations[1].Exits[1]; got != "signal: killed" {
+		t.Fatalf("second incarnation's doomed rank exited %q, want signal: killed", got)
+	}
+	if res.Output != baseline.Output {
+		t.Fatalf("twice-recovered output %q != fault-free output %q", res.Output, baseline.Output)
+	}
+}

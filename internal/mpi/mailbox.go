@@ -157,6 +157,16 @@ func (b *mailbox) deliver(m *Message) {
 		b.appendNode(n)
 	}
 	b.count++
+	// While the bucket indexes are live (every queued node is linked),
+	// index the arrival immediately: chaos never reorders same-(ctx,
+	// source) messages, so appending to the bucket keeps it sorted by
+	// master order even for a chaos-inserted node, and the indexed match
+	// path stays O(specs) instead of rescanning the master list per
+	// receive. Once the indexes drain to empty the lazy path takes over
+	// again, so light traffic still never touches the maps.
+	if b.indexed > 0 && b.indexed == b.count-1 {
+		b.bucketAppend(n)
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }

@@ -51,6 +51,12 @@ type Options struct {
 	// KillPlan maps rank -> operation index (1-based count of that rank's
 	// substrate operations) at which the rank stop-fails.
 	KillPlan map[int]int64
+	// OnKill, when non-nil, is invoked with the rank as its KillPlan entry
+	// fires, before the simulated stop-failure is raised. A cross-process
+	// worker uses this to deliver a real SIGKILL to its own process — in
+	// that case the call never returns and the simulated path below it is
+	// dead code.
+	OnKill func(rank int)
 	// NewTransport, when non-nil, builds the wire substrate for the world;
 	// nil selects the in-process indexed-mailbox transport. Alternative
 	// backends (latency models, cross-process shims) plug in here without
@@ -168,6 +174,9 @@ func (w *World) enter(rank int) {
 	}
 	n := w.opCount[rank].Add(1)
 	if plan, ok := w.opts.KillPlan[rank]; ok && n == plan {
+		if w.opts.OnKill != nil {
+			w.opts.OnKill(rank)
+		}
 		w.killed[rank].Store(true)
 	}
 	if w.killed[rank].Load() {

@@ -1,0 +1,402 @@
+package tcptransport_test
+
+// Transport-contract conformance suite: every behaviour the mpi.Transport
+// documentation promises — reliable eager delivery, per-(sender, context)
+// non-overtaking order, matchOrder semantics with lowest-spec-index
+// tie-breaking, Interrupt wakeup, ErrWorldDead on shutdown — is exercised
+// through one shared table against both substrates: the in-process
+// indexed-mailbox transport and the cross-process TCP transport (here wired
+// between n single-rank worlds over loopback sockets, exactly as n worker
+// processes would be).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccift/internal/mpi"
+	"ccift/internal/mpi/tcptransport"
+)
+
+// cluster is the substrate-neutral view of an n-rank world set.
+type cluster struct {
+	n     int
+	tr    func(rank int) mpi.Transport
+	world func(rank int) *mpi.World
+	close func()
+}
+
+type substrate struct {
+	name  string
+	build func(t *testing.T, n int) *cluster
+}
+
+func buildInproc(t *testing.T, n int) *cluster {
+	w := mpi.NewWorld(n, mpi.Options{})
+	return &cluster{
+		n:     n,
+		tr:    func(int) mpi.Transport { return w.Transport() },
+		world: func(int) *mpi.World { return w },
+		close: func() {},
+	}
+}
+
+func buildTCP(t *testing.T, n int) *cluster {
+	addrs := make([]string, n)
+	_, lookup := tcptransport.StaticRendezvous(addrs)
+	publish := func(int, string) error { return nil }
+	ts := make([]*tcptransport.Transport, n)
+	for i := 0; i < n; i++ {
+		tt, err := tcptransport.New(tcptransport.Config{
+			Rank: i, Size: n,
+			Publish: publish, Lookup: lookup,
+			HeartbeatPeriod: 200 * time.Millisecond,
+			SuspectTimeout:  30 * time.Second, // ample: only conn resets should ever fire here
+		})
+		if err != nil {
+			t.Fatalf("tcptransport.New(rank %d): %v", i, err)
+		}
+		ts[i] = tt
+		addrs[i] = tt.Addr()
+	}
+	worlds := make([]*mpi.World, n)
+	for i := 0; i < n; i++ {
+		worlds[i] = mpi.NewWorld(n, mpi.Options{NewTransport: ts[i].Attach})
+	}
+	for i := 0; i < n; i++ {
+		if err := ts[i].Start(); err != nil {
+			t.Fatalf("Start(rank %d): %v", i, err)
+		}
+	}
+	return &cluster{
+		n:     n,
+		tr:    func(rank int) mpi.Transport { return ts[rank] },
+		world: func(rank int) *mpi.World { return worlds[rank] },
+		close: func() {
+			for _, tt := range ts {
+				tt.Close()
+			}
+		},
+	}
+}
+
+var substrates = []substrate{
+	{"inproc", buildInproc},
+	{"tcp", buildTCP},
+}
+
+func msg(src, tag int, seq uint32) *mpi.Message {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], seq)
+	return &mpi.Message{Source: src, Tag: tag, Data: b[:]}
+}
+
+func seqOf(t *testing.T, m *mpi.Message) uint32 {
+	t.Helper()
+	if len(m.Data) != 4 {
+		t.Fatalf("payload length %d, want 4", len(m.Data))
+	}
+	return binary.LittleEndian.Uint32(m.Data)
+}
+
+func TestTransportConformance(t *testing.T) {
+	type tc struct {
+		name string
+		n    int
+		run  func(t *testing.T, c *cluster)
+	}
+	cases := []tc{
+		{"SenderOrderPreserved", 2, testSenderOrder},
+		{"CrossSenderDeliveryComplete", 3, testCrossSender},
+		{"MatchOrderEarliestWins", 2, testMatchEarliest},
+		{"MatchOrderTieLowestSpec", 2, testMatchTie},
+		{"ProbePollPending", 2, testProbePollPending},
+		{"InterruptWakesAwaitCond", 2, testInterrupt},
+		{"ShutdownPanicsErrWorldDead", 2, testWorldDead},
+	}
+	for _, s := range substrates {
+		for _, c := range cases {
+			t.Run(s.name+"/"+c.name, func(t *testing.T) {
+				t.Parallel()
+				cl := s.build(t, c.n)
+				defer cl.close()
+				c.run(t, cl)
+			})
+		}
+	}
+}
+
+// testSenderOrder: messages from one sender on one context are matched in
+// send order (MPI's non-overtaking guarantee).
+func testSenderOrder(t *testing.T, c *cluster) {
+	const k = 200
+	go func() {
+		for i := 0; i < k; i++ {
+			c.tr(1).Send(0, msg(1, 7, uint32(i)))
+		}
+	}()
+	for i := 0; i < k; i++ {
+		_, m := c.tr(0).Await(0, []mpi.RecvSpec{{Source: 1, Tag: 7}})
+		if got := seqOf(t, m); got != uint32(i) {
+			t.Fatalf("receive %d: got seq %d (same-sender overtaking)", i, got)
+		}
+	}
+}
+
+// testCrossSender: all messages from concurrent senders arrive exactly
+// once, and each sender's own sequence stays ordered even under a wildcard
+// receive.
+func testCrossSender(t *testing.T, c *cluster) {
+	const per = 50
+	for src := 1; src < c.n; src++ {
+		go func(src int) {
+			for i := 0; i < per; i++ {
+				c.tr(src).Send(0, msg(src, src, uint32(i)))
+			}
+		}(src)
+	}
+	next := make([]uint32, c.n)
+	total := per * (c.n - 1)
+	for i := 0; i < total; i++ {
+		_, m := c.tr(0).Await(0, []mpi.RecvSpec{{Source: mpi.AnySource, Tag: mpi.AnyTag}})
+		if m.Tag != m.Source {
+			t.Fatalf("message from %d carries tag %d", m.Source, m.Tag)
+		}
+		if got := seqOf(t, m); got != next[m.Source] {
+			t.Fatalf("sender %d: got seq %d, want %d", m.Source, got, next[m.Source])
+		}
+		next[m.Source]++
+	}
+	for src := 1; src < c.n; src++ {
+		if next[src] != per {
+			t.Fatalf("sender %d: received %d of %d", src, next[src], per)
+		}
+	}
+}
+
+// testMatchEarliest: the queued message earliest in delivery order wins,
+// regardless of spec order.
+func testMatchEarliest(t *testing.T, c *cluster) {
+	c.tr(1).Send(0, msg(1, 1, 100))
+	c.tr(1).Send(0, msg(1, 2, 200))
+	// Wait until both have arrived so delivery order is fixed.
+	waitPending(t, c.tr(0), 0, 2)
+	specs := []mpi.RecvSpec{{Source: 1, Tag: 2}, {Source: 1, Tag: 1}}
+	si, m := c.tr(0).Await(0, specs)
+	if m.Tag != 1 || si != 1 {
+		t.Fatalf("got tag %d via spec %d, want earliest message (tag 1) via spec 1", m.Tag, si)
+	}
+	si, m = c.tr(0).Await(0, specs)
+	if m.Tag != 2 || si != 0 {
+		t.Fatalf("got tag %d via spec %d, want tag 2 via spec 0", m.Tag, si)
+	}
+}
+
+// testMatchTie: when one message satisfies several specs, the lowest spec
+// index is reported.
+func testMatchTie(t *testing.T, c *cluster) {
+	c.tr(1).Send(0, msg(1, 5, 0))
+	specs := []mpi.RecvSpec{{Source: mpi.AnySource, Tag: 5}, {Source: 1, Tag: 5}}
+	si, m := c.tr(0).Await(0, specs)
+	if si != 0 || m.Tag != 5 {
+		t.Fatalf("tie broke to spec %d (tag %d), want spec 0", si, m.Tag)
+	}
+}
+
+// testProbePollPending: Probe observes without removing, Poll never blocks,
+// and Pending/PendingApp distinguish application from control traffic.
+func testProbePollPending(t *testing.T, c *cluster) {
+	if si, m := c.tr(0).Poll(0, []mpi.RecvSpec{{Source: mpi.AnySource, Tag: mpi.AnyTag}}); m != nil || si != -1 {
+		t.Fatalf("Poll on empty mailbox returned (%d, %v)", si, m)
+	}
+	c.tr(1).Send(0, msg(1, 3, 1))
+	c.tr(1).Send(0, msg(1, -11, 2)) // reserved/control tag
+	waitPending(t, c.tr(0), 0, 2)
+	if ok, m := c.tr(0).Probe(0, mpi.RecvSpec{Source: 1, Tag: 3}); !ok || m == nil {
+		t.Fatal("Probe missed a queued message")
+	}
+	if got := c.tr(0).Pending(0); got != 2 {
+		t.Fatalf("Pending = %d after Probe, want 2 (Probe must not remove)", got)
+	}
+	if got := c.tr(0).PendingApp(0, 0); got != 1 {
+		t.Fatalf("PendingApp = %d, want 1 (control tag excluded)", got)
+	}
+	if si, m := c.tr(0).Poll(0, []mpi.RecvSpec{{Source: 1, Tag: 3}}); m == nil || si != 0 {
+		t.Fatal("Poll missed the queued application message")
+	}
+	if got := c.tr(0).Pending(0); got != 1 {
+		t.Fatalf("Pending = %d after Poll, want 1", got)
+	}
+}
+
+// testInterrupt: AwaitCond re-evaluates its condition when Interrupt runs,
+// and returns (-1, nil) once it holds.
+func testInterrupt(t *testing.T, c *cluster) {
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		si, m := c.tr(0).AwaitCond(0, []mpi.RecvSpec{{Source: 1, Tag: 99}}, stop.Load)
+		if si != -1 || m != nil {
+			t.Errorf("AwaitCond returned (%d, %v), want (-1, nil)", si, m)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let it park
+	stop.Store(true)
+	c.tr(0).Interrupt()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Interrupt did not wake AwaitCond")
+	}
+}
+
+// testWorldDead: a blocked Await panics with ErrWorldDead once the world is
+// shut down, and subsequent non-blocking calls panic too.
+func testWorldDead(t *testing.T, c *cluster) {
+	got := make(chan any, 1)
+	go func() {
+		defer func() { got <- recover() }()
+		c.tr(0).Await(0, []mpi.RecvSpec{{Source: 1, Tag: 42}})
+		got <- nil
+	}()
+	time.Sleep(20 * time.Millisecond) // let it block
+	c.world(0).Shutdown()
+	select {
+	case p := <-got:
+		if p != mpi.ErrWorldDead {
+			t.Fatalf("blocked Await panicked with %v, want ErrWorldDead", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not wake the blocked Await")
+	}
+	func() {
+		defer func() {
+			if p := recover(); p != mpi.ErrWorldDead {
+				t.Fatalf("Poll after Shutdown panicked with %v, want ErrWorldDead", p)
+			}
+		}()
+		c.tr(0).Poll(0, []mpi.RecvSpec{{Source: 1, Tag: 42}})
+		t.Fatal("Poll after Shutdown did not panic")
+	}()
+}
+
+// waitPending blocks until rank's mailbox holds want messages (remote
+// delivery is asynchronous on the TCP substrate).
+func waitPending(t *testing.T, tr mpi.Transport, rank, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Pending(rank) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d messages arrived", tr.Pending(rank), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPSendHdrHeaderSurvivesWire pins the two-segment wire format across
+// the socket: the 32-bit out-of-band header word must arrive intact.
+func TestTCPSendHdrHeaderSurvivesWire(t *testing.T) {
+	t.Parallel()
+	cl := buildTCP(t, 2)
+	defer cl.close()
+	m := msg(1, 4, 77)
+	m.Header = 0xCAFEBABE
+	cl.tr(1).Send(0, m)
+	_, got := cl.tr(0).Await(0, []mpi.RecvSpec{{Source: 1, Tag: 4}})
+	if got.Header != 0xCAFEBABE {
+		t.Fatalf("header word %#x, want %#x", got.Header, 0xCAFEBABE)
+	}
+	if seqOf(t, got) != 77 {
+		t.Fatalf("payload seq %d, want 77", seqOf(t, got))
+	}
+}
+
+// TestTCPPeerDeathShutsDownWorld pins the failure path: when a peer's
+// connection resets without a done announcement, the survivor's world is
+// shut down and blocked operations raise ErrWorldDead.
+func TestTCPPeerDeathShutsDownWorld(t *testing.T) {
+	t.Parallel()
+	cl := buildTCP(t, 2)
+	defer cl.close()
+	// Ensure the mesh is up before severing it.
+	cl.tr(1).Send(0, msg(1, 1, 0))
+	_, _ = cl.tr(0).Await(0, []mpi.RecvSpec{{Source: 1, Tag: 1}})
+
+	got := make(chan any, 1)
+	go func() {
+		defer func() { got <- recover() }()
+		cl.tr(0).Await(0, []mpi.RecvSpec{{Source: 1, Tag: 9}})
+		got <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Rank 1 "dies": its transport closes every socket with no done frame.
+	// Closing via the transport marks rank 1's own side benign, but rank 0
+	// must interpret the reset as a peer death.
+	cl.tr(1).(*tcptransport.Transport).Close()
+	select {
+	case p := <-got:
+		if p != mpi.ErrWorldDead {
+			t.Fatalf("survivor's Await panicked with %v, want ErrWorldDead", p)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("peer death did not shut down the survivor's world")
+	}
+	if !cl.world(0).Dead() {
+		t.Fatal("survivor world not marked dead")
+	}
+	if !cl.world(0).Killed(1) {
+		t.Fatal("survivor did not record peer 1 as killed")
+	}
+}
+
+// TestTCPDoneMakesCloseBenign pins the clean-completion path: after every
+// rank announces done, connection teardown must not be read as a failure.
+func TestTCPDoneMakesCloseBenign(t *testing.T) {
+	t.Parallel()
+	cl := buildTCP(t, 2)
+	defer cl.close()
+	t0 := cl.tr(0).(*tcptransport.Transport)
+	t1 := cl.tr(1).(*tcptransport.Transport)
+	var doneAnnounced [2]chan struct{}
+	for i, tt := range []*tcptransport.Transport{t0, t1} {
+		doneAnnounced[i] = make(chan struct{})
+		go func(tt *tcptransport.Transport, ch chan struct{}) {
+			tt.AnnounceDone()
+			close(ch)
+		}(tt, doneAnnounced[i])
+	}
+	<-doneAnnounced[0]
+	<-doneAnnounced[1]
+	waitAllDone(t, t0)
+	waitAllDone(t, t1)
+	t1.Close()
+	time.Sleep(100 * time.Millisecond) // give rank 0 time to observe the close
+	if cl.world(0).Dead() {
+		t.Fatal("clean close after done was treated as a failure")
+	}
+}
+
+func waitAllDone(t *testing.T, tt *tcptransport.Transport) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !tt.AllDone() {
+		if time.Now().After(deadline) {
+			t.Fatal("AllDone never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func ExampleFileRendezvous() {
+	dir, _ := os.MkdirTemp("", "rdv")
+	defer os.RemoveAll(dir)
+	publish, lookup := tcptransport.FileRendezvous(dir, time.Second)
+	_ = publish(0, "127.0.0.1:9999")
+	addr, _ := lookup(0)
+	fmt.Println(addr)
+	// Output: 127.0.0.1:9999
+}

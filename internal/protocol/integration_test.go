@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ccift/internal/mpi"
 	"ccift/internal/storage"
@@ -326,8 +327,17 @@ func TestCountConservation(t *testing.T) {
 				l.Send(next, 1, []byte{byte(it)})
 				l.Recv(prev, 1)
 			}
-			for i := 0; i < 200; i++ {
+			// Service control until the commit lands (a fixed poll count
+			// can lose the race against the stoppedLogging chain under
+			// -race scheduling); the deadline keeps a genuine protocol
+			// bug from hanging the property.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
 				l.ServiceControl()
+				if _, committed, _ := l.cfg.Store.Committed(); committed || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
 			}
 		})
 		if _, committed, _ := cs.Committed(); !committed {

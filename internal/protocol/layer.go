@@ -489,11 +489,16 @@ func (l *Layer) ServiceControlUntil(stop func() bool) {
 	}
 	for {
 		l.drainControl()
-		if l.init != nil {
-			l.maybeInitiate(false)
-		}
+		// Completion is checked between draining and initiating: queued
+		// control traffic is always handled, but the initiator must not
+		// launch a fresh global checkpoint once every rank has finished —
+		// it could never complete, and the replaced busy-poll never
+		// serviced after the last finisher either.
 		if stop() {
 			return
+		}
+		if l.init != nil {
+			l.maybeInitiate(false)
 		}
 		wake := stop
 		var timer *time.Timer

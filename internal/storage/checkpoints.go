@@ -57,6 +57,14 @@ func (c *CheckpointStore) Commit(epoch int) error {
 	return c.S.Put(commitKey, b[:])
 }
 
+// ClearCommit removes the commit record, so recovery restarts from the
+// beginning. A job launcher reusing a checkpoint directory calls this
+// before its first incarnation: a stale record from a previous job would
+// otherwise be restored by the first rollback of the new one.
+func (c *CheckpointStore) ClearCommit() error {
+	return c.S.Delete(commitKey)
+}
+
 // Committed returns the most recently committed epoch. ok is false when no
 // global checkpoint has ever been committed.
 func (c *CheckpointStore) Committed() (epoch int, ok bool, err error) {
@@ -66,6 +74,12 @@ func (c *CheckpointStore) Committed() (epoch int, ok bool, err error) {
 			return 0, false, nil
 		}
 		return 0, false, err
+	}
+	if len(b) != 8 {
+		// A torn commit record would be a storage-layer atomicity bug;
+		// surface it as an error rather than a panic in the recovering
+		// process.
+		return 0, false, fmt.Errorf("storage: commit record is %d bytes, want 8", len(b))
 	}
 	v := binary.LittleEndian.Uint64(b)
 	if v == 0 {

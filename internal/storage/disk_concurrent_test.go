@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDiskCommitNeverTorn simulates what the distributed launcher makes
+// real: several *processes* sharing one checkpoint directory, one of them
+// re-writing ckpt/COMMIT while restarting peers poll it. Each writer gets
+// its own Disk instance (separate mutexes — the in-process lock must not be
+// what saves us), and the readers assert that every observed commit record
+// is a complete, valid 8-byte blob naming an epoch that was actually
+// committed. With a fixed-name temporary file this fails: one writer can
+// truncate the temp file another is about to rename, publishing a torn
+// (typically empty) record.
+func TestDiskCommitNeverTorn(t *testing.T) {
+	root := t.TempDir()
+	const writers = 4
+	const commitsPerWriter = 200
+	const maxEpoch = writers * commitsPerWriter
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		d, err := NewDisk(root) // one instance per simulated process
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := NewCheckpointStore(d)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < commitsPerWriter; i++ {
+				if err := cs.Commit(w*commitsPerWriter + i); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	var readerWg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		d, err := NewDisk(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := NewCheckpointStore(d)
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				epoch, ok, err := cs.Committed()
+				if err != nil {
+					t.Errorf("reader observed a torn commit record: %v", err)
+					return
+				}
+				if ok && (epoch < 0 || epoch >= maxEpoch) {
+					t.Errorf("reader observed impossible epoch %d", epoch)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readerWg.Wait()
+
+	// No in-flight temp files may survive the writers.
+	entries, err := os.ReadDir(filepath.Join(root, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// TestDiskConcurrentSameKey hammers one key from many Disk instances and
+// checks every read returns some writer's complete value.
+func TestDiskConcurrentSameKey(t *testing.T) {
+	root := t.TempDir()
+	const writers = 8
+	payload := func(w int) []byte {
+		return []byte(strings.Repeat(string(rune('a'+w)), 512))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		d, err := NewDisk(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := d.Put("shared/key", payload(w)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	reader, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		b, err := reader.Get("shared/key")
+		if err == nil {
+			if len(b) != 512 {
+				t.Fatalf("torn read: %d bytes", len(b))
+			}
+			for _, c := range b[1:] {
+				if c != b[0] {
+					t.Fatalf("interleaved read: %q...", b[:16])
+				}
+			}
+		}
+		select {
+		case <-done:
+			// Writers finished and every read so far was whole.
+			if keys, err := reader.List("shared/"); err != nil || len(keys) != 1 {
+				t.Fatalf("List = %v, %v (temp files must stay hidden)", keys, err)
+			}
+			return
+		default:
+		}
+	}
+	t.Fatal("writers did not finish in time")
+}
+
+// TestDiskListHidesInFlightTempFiles pins the List contract directly.
+func TestDiskListHidesInFlightTempFiles(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDisk(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("ckpt/blob", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed writer's leftover temp file.
+	if err := os.WriteFile(filepath.Join(root, "ckpt", tmpPrefix+"blob-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := d.List("ckpt/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "ckpt/blob" {
+		t.Fatalf("List = %v, want [ckpt/blob]", keys)
+	}
+}

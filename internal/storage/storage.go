@@ -105,12 +105,21 @@ func (m *Memory) BytesWritten() int64 {
 }
 
 // Disk stores blobs as files under a directory. Keys may contain '/'
-// separators, which map to subdirectories. Writes go through a temporary
-// file followed by rename, so a crash never leaves a torn blob.
+// separators, which map to subdirectories. Writes go through a uniquely
+// named temporary file, an fsync, and a rename: atomic on POSIX even when
+// several *processes* write the same key — the shared store's commit
+// record is written by one rank's process while restarting processes poll
+// it, and a fixed temp name would let one writer truncate the file another
+// is about to rename, exposing a torn blob. The in-process mutex merely
+// keeps same-process writers from contending on directory creation.
 type Disk struct {
 	root string
 	mu   sync.Mutex
 }
+
+// tmpPrefix marks in-flight temp files; List hides them. The "*" in the
+// CreateTemp pattern gives every writer (in any process) its own file.
+const tmpPrefix = ".tmp-"
 
 // NewDisk returns a disk-backed store rooted at dir, creating it if needed.
 func NewDisk(dir string) (*Disk, error) {
@@ -129,14 +138,35 @@ func (d *Disk) Put(key string, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	p := d.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(p)+"-*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, p)
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		// CreateTemp makes the file 0600; published blobs keep the store's
+		// historical world-readable mode.
+		werr = tmp.Chmod(0o644)
+	}
+	if werr == nil {
+		werr = tmp.Sync() // the blob must be durable before the rename publishes it
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Get implements Stable.
@@ -169,7 +199,7 @@ func (d *Disk) List(prefix string) ([]string, error) {
 			return err
 		}
 		key := filepath.ToSlash(rel)
-		if strings.HasPrefix(key, prefix) && !strings.HasSuffix(key, ".tmp") {
+		if strings.HasPrefix(key, prefix) && !strings.HasPrefix(filepath.Base(path), tmpPrefix) {
 			keys = append(keys, key)
 		}
 		return nil
