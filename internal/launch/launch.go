@@ -456,13 +456,24 @@ func workerRun(app WorkerApp) (int, error) {
 	if rdv == "" || storeDir == "" {
 		return exitError, fmt.Errorf("missing %s or %s", envRendezvous, envStore)
 	}
-	detectorMS, _ := envInt(envDetector)
-	if detectorMS <= 0 {
-		detectorMS = 2000
+	// A malformed fault-injection or detector variable must be a hard error:
+	// silently ignoring it would turn a scheduled-kill run into a fault-free
+	// run with no diagnostic.
+	detectorMS := 2000
+	if v := os.Getenv(envDetector); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return exitError, fmt.Errorf("bad env %s=%q: want a positive integer", envDetector, v)
+		}
+		detectorMS = n
 	}
 	var killAtOp int64
 	if v := os.Getenv(envKillAtOp); v != "" {
-		killAtOp, _ = strconv.ParseInt(v, 10, 64)
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 { // the engine treats <=0 as "no kill"
+			return exitError, fmt.Errorf("bad env %s=%q: want a positive integer", envKillAtOp, v)
+		}
+		killAtOp = n
 	}
 
 	store, err := storage.NewDisk(storeDir)

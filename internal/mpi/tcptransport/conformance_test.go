@@ -380,6 +380,68 @@ func TestTCPDoneMakesCloseBenign(t *testing.T) {
 	}
 }
 
+// TestTCPDonePeerKeepsReceivingHeartbeats pins the done/suspicion split:
+// after rank 1 announces done, rank 0 must keep beaconing it — a done rank
+// is still alive (parked in control service until every rank finishes) and
+// still suspects its working peers, so if the beacons dried up a quiet but
+// healthy rank 0 would be falsely declared dead and the whole incarnation
+// rolled back.
+func TestTCPDonePeerKeepsReceivingHeartbeats(t *testing.T) {
+	t.Parallel()
+	const n = 2
+	addrs := make([]string, n)
+	_, lookup := tcptransport.StaticRendezvous(addrs)
+	publish := func(int, string) error { return nil }
+	ts := make([]*tcptransport.Transport, n)
+	for i := 0; i < n; i++ {
+		tt, err := tcptransport.New(tcptransport.Config{
+			Rank: i, Size: n,
+			Publish: publish, Lookup: lookup,
+			HeartbeatPeriod: 50 * time.Millisecond,
+			SuspectTimeout:  400 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("tcptransport.New(rank %d): %v", i, err)
+		}
+		ts[i] = tt
+		addrs[i] = tt.Addr()
+	}
+	worlds := make([]*mpi.World, n)
+	for i := 0; i < n; i++ {
+		worlds[i] = mpi.NewWorld(n, mpi.Options{NewTransport: ts[i].Attach})
+	}
+	for i := 0; i < n; i++ {
+		if err := ts[i].Start(); err != nil {
+			t.Fatalf("Start(rank %d): %v", i, err)
+		}
+	}
+	defer func() {
+		for _, tt := range ts {
+			tt.Close()
+		}
+	}()
+	// Form the mesh before rank 1 finishes.
+	ts[1].Send(0, msg(1, 1, 0))
+	_, _ = ts[0].Await(0, []mpi.RecvSpec{{Source: 1, Tag: 1}})
+	ts[1].AnnounceDone()
+	// Rank 0 keeps working in silence for several suspicion windows. If
+	// rank 0 stopped heartbeating the done rank 1, rank 1 would suspect it
+	// and shut its world down.
+	time.Sleep(3 * 400 * time.Millisecond)
+	if worlds[1].Dead() {
+		t.Fatal("done rank declared its silent-but-alive peer dead")
+	}
+	if worlds[0].Dead() {
+		t.Fatal("working rank's world died during a fault-free quiet period")
+	}
+	// The done rank must still accept late traffic from working peers.
+	ts[0].Send(1, msg(0, 2, 7))
+	_, m := ts[1].Await(1, []mpi.RecvSpec{{Source: 0, Tag: 2}})
+	if seqOf(t, m) != 7 {
+		t.Fatalf("late message to done rank corrupted: seq %d, want 7", seqOf(t, m))
+	}
+}
+
 func waitAllDone(t *testing.T, tt *tcptransport.Transport) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

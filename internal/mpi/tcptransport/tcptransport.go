@@ -121,6 +121,12 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.SuspectTimeout == 0 {
 		cfg.SuspectTimeout = 2 * time.Second
 	}
+	// The detector needs several beacons per suspicion window or a healthy
+	// peer is declared dead on the first quiet tick; tighten the period
+	// when a small SuspectTimeout would otherwise outpace it.
+	if p := cfg.SuspectTimeout / 4; cfg.HeartbeatPeriod > p {
+		cfg.HeartbeatPeriod = p
+	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 20 * time.Second
 	}
@@ -398,7 +404,11 @@ func (t *Transport) shutdownWorld(peer int) {
 }
 
 // monitor beacons liveness to every connected peer and applies the
-// suspicion timeout to connected, not-yet-done peers. Pre-connection
+// suspicion timeout to connected, not-yet-done peers. A peer's done status
+// exempts it from suspicion but NOT from our beacons: a done peer is still
+// running (parked in control service until everyone finishes) and still
+// suspects *us*, so its inbound traffic must not dry up — writes to a done
+// peer that has already exited fail benignly via connBroken. Pre-connection
 // absence is handled by the dial deadline instead, so a slow mesh bring-up
 // is never misread as a death.
 func (t *Transport) monitor() {
@@ -420,25 +430,25 @@ func (t *Transport) monitor() {
 		}
 		var targets []target
 		suspectable := make([]bool, t.cfg.Size)
-		unformed := -1
+		var unformed []int
 		for p := 0; p < t.cfg.Size; p++ {
-			if p == t.cfg.Rank || t.done[p] {
+			if p == t.cfg.Rank {
 				continue
 			}
 			if pc := t.peers[p]; pc != nil {
 				targets = append(targets, target{p, pc})
-				suspectable[p] = true
-			} else {
+				suspectable[p] = !t.done[p]
+			} else if !t.done[p] {
 				// Not connected yet: the dial deadline governs peers we dial;
 				// for peers that dial us, the mesh-formation deadline below
 				// catches a higher rank that died before connecting.
 				t.det.Heartbeat(p)
-				unformed = p
+				unformed = append(unformed, p)
 			}
 		}
 		t.mu.Unlock()
-		if meshLate && unformed >= 0 {
-			t.peerDead(unformed, fmt.Errorf("no connection within %v of start", t.cfg.DialTimeout))
+		if meshLate && len(unformed) > 0 {
+			t.peerDead(unformed[0], fmt.Errorf("no connection to peers %v within %v of start", unformed, t.cfg.DialTimeout))
 			return
 		}
 		for _, tg := range targets {

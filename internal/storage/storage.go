@@ -106,15 +106,15 @@ func (m *Memory) BytesWritten() int64 {
 
 // Disk stores blobs as files under a directory. Keys may contain '/'
 // separators, which map to subdirectories. Writes go through a uniquely
-// named temporary file, an fsync, and a rename: atomic on POSIX even when
-// several *processes* write the same key — the shared store's commit
-// record is written by one rank's process while restarting processes poll
-// it, and a fixed temp name would let one writer truncate the file another
-// is about to rename, exposing a torn blob. The in-process mutex merely
-// keeps same-process writers from contending on directory creation.
+// named temporary file, an fsync, a rename, and directory fsyncs up to the
+// store root: atomic on POSIX even when several *processes* write the same
+// key — the shared store's commit record is written by one rank's process
+// while restarting processes poll it, and a fixed temp name would let one
+// writer truncate the file another is about to rename, exposing a torn
+// blob. No lock is needed: MkdirAll tolerates concurrent creation and each
+// writer owns its temp file, so ranks checkpoint in parallel.
 type Disk struct {
 	root string
-	mu   sync.Mutex
 }
 
 // tmpPrefix marks in-flight temp files; List hides them. The "*" in the
@@ -126,7 +126,8 @@ func NewDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create root: %w", err)
 	}
-	return &Disk{root: dir}, nil
+	// Clean so syncToRoot's ancestor walk terminates exactly at the root.
+	return &Disk{root: filepath.Clean(dir)}, nil
 }
 
 func (d *Disk) path(key string) string {
@@ -135,8 +136,6 @@ func (d *Disk) path(key string) string {
 
 // Put implements Stable.
 func (d *Disk) Put(key string, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	p := d.path(key)
 	dir := filepath.Dir(p)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -166,7 +165,43 @@ func (d *Disk) Put(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	// The rename publishes the blob to other processes, but only directory
+	// fsyncs make the new entries survive a machine crash — without them
+	// the commit record (or a subdirectory MkdirAll just created) could
+	// vanish on power loss.
+	return d.syncToRoot(dir)
+}
+
+// syncToRoot fsyncs dir and every ancestor up to and including the store
+// root, covering both a rename into dir and any directory entries MkdirAll
+// created on the way down.
+func (d *Disk) syncToRoot(dir string) error {
+	for {
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+		if dir == d.root {
+			return nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir { // filesystem root: never sync outside the store
+			return nil
+		}
+		dir = parent
+	}
+}
+
+// syncDir fsyncs a directory, making entry changes within it durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get implements Stable.
@@ -180,11 +215,17 @@ func (d *Disk) Get(key string) ([]byte, error) {
 
 // Delete implements Stable.
 func (d *Disk) Delete(key string) error {
-	err := os.Remove(d.path(key))
+	p := d.path(key)
+	err := os.Remove(p)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	// Make the removal durable too: a cleared commit record that
+	// resurrects after a crash would resume a foreign job's state.
+	return syncDir(filepath.Dir(p))
 }
 
 // List implements Stable.
