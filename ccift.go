@@ -8,30 +8,42 @@
 // PotentialCheckpoint wherever a checkpoint may be taken:
 //
 //	prog := func(r *ccift.Rank) (any, error) {
-//		var it int
-//		x := make([]float64, 1024)
-//		r.Register("it", &it)
-//		r.Register("x", &x)
-//		for ; it < 1000; it++ {
-//			r.PotentialCheckpoint()
-//			// exchange, compute …
+//		it := ccift.Reg[int](r, "it")
+//		x := ccift.Reg[[]float64](r, "x")
+//		if !r.Restarting() {
+//			*x = make([]float64, 1024)
 //		}
-//		return x[0], nil
+//		for ; *it < 1000; *it++ {
+//			r.PotentialCheckpoint()
+//			// exchange with ccift.Send / ccift.Recv, compute …
+//		}
+//		return (*x)[0], nil
 //	}
-//	res, err := ccift.Run(ccift.Config{Ranks: 16, Mode: ccift.Full, Interval: 30 * time.Second}, prog)
+//	res, err := ccift.Launch(ctx, ccift.NewSpec(
+//		ccift.WithRanks(16), ccift.WithMode(ccift.Full),
+//		ccift.WithInterval(30*time.Second)), prog)
 //
-// Run executes the ranks as goroutines over an in-process MPI-like
-// substrate, drives the paper's coordination protocol (epochs, piggybacked
-// control information, late-message and non-determinism logs, early-send
-// suppression), injects any configured stopping failures, and transparently
-// rolls the computation back to the last committed global checkpoint until
-// the program completes.
+// Launch is the single entry point for every substrate. By default the
+// ranks run as goroutines over an in-process MPI-like substrate; with
+// WithDistributed the identical program runs as one OS process per rank
+// over a TCP mesh, with checkpoints in a shared on-disk store and failures
+// delivered as real SIGKILLs. Either way the system drives the paper's
+// coordination protocol (epochs, piggybacked control information,
+// late-message and non-determinism logs, early-send suppression), injects
+// any configured stopping failures, and transparently rolls the
+// computation back to the last committed global checkpoint until the
+// program completes. The run can be cancelled or deadlined through ctx and
+// fails with a structured *RunError.
 //
 // Programs may be written directly against this API (registering state and
 // looping on a registered counter, as above), or written as plain code and
 // instrumented by the cmd/ccift precompiler, which inserts Position Stack
 // and Variable Descriptor Stack bookkeeping so that checkpoints may sit
 // anywhere in the call tree.
+//
+// Run(Config, prog) is the v0 entry point, kept as a thin compatibility
+// shim over the same engine; see the README's MIGRATION section for the
+// Config-field-to-option mapping and the shim's deprecation path.
 package ccift
 
 import (
@@ -93,6 +105,12 @@ const (
 // Run executes prog on cfg.Ranks ranks, rolling back and restarting from
 // the last committed global checkpoint whenever a rank stop-fails, until
 // the program completes on every rank.
+//
+// Run is the v0 entry point, retained as a compatibility shim: it is
+// Launch with a background context, the in-process substrate, and the
+// Config fields mapped onto their spec options. New code should call
+// Launch, which adds cancellation, substrate selection, and structured
+// errors; Run will be removed in v2.
 func Run(cfg Config, prog Program) (*Result, error) {
 	return engine.Run(cfg, prog)
 }

@@ -12,46 +12,23 @@
 //	                                                  # SIGKILLed at its op 100
 //	c3launch -app cg -store /tmp/ckpts -kill 2@400 -kill 1@900
 //
-// The same binary serves as the worker: c3launch re-execs itself with the
-// CCIFT_WORKER environment set (rank, world size, incarnation, rendezvous
-// directory, store directory), and the worker half builds its world from
-// that environment instead of spawning goroutines.
+// c3launch is a thin wrapper over ccift.Launch with WithDistributed: the
+// same binary serves as the worker, because each re-exec'd worker process
+// re-enters the identical Launch call, which detects the worker
+// environment and runs the single-rank role instead of launching.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
 	"time"
 
+	"ccift"
 	"ccift/internal/apps"
-	"ccift/internal/launch"
 )
-
-type killList []launch.KillSpec
-
-func (k *killList) String() string { return fmt.Sprint(*k) }
-
-// Set parses rank@op; the i-th -kill flag applies to incarnation i, so a
-// sequence of flags exercises recovery from recovery.
-func (k *killList) Set(v string) error {
-	rank, op, ok := strings.Cut(v, "@")
-	if !ok {
-		return fmt.Errorf("want rank@op, got %q", v)
-	}
-	r, err := strconv.Atoi(rank)
-	if err != nil {
-		return err
-	}
-	o, err := strconv.ParseInt(op, 10, 64)
-	if err != nil {
-		return err
-	}
-	*k = append(*k, launch.KillSpec{Rank: r, AtOp: o, Incarnation: len(*k)})
-	return nil
-}
 
 func main() {
 	app := flag.String("app", "laplace", "application: cg, laplace, neurosys")
@@ -64,8 +41,9 @@ func main() {
 	detector := flag.Duration("detector", 2*time.Second, "heartbeat suspicion timeout")
 	seed := flag.Int64("seed", 0, "base seed for application randomness")
 	maxRestarts := flag.Int("max-restarts", 10, "bound on incarnation re-spawns")
+	timeout := flag.Duration("timeout", 0, "cancel the job after this long (0: no deadline)")
 	verbose := flag.Bool("v", false, "log spawn/exit events")
-	var kills killList
+	var kills apps.KillFlag
 	flag.Var(&kills, "kill", "rank@op real-SIGKILL failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
 
@@ -74,35 +52,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
 		os.Exit(2)
 	}
-	everyN := *every
-	if everyN == 0 && *interval == 0 {
-		everyN = 25
+
+	everyN, intv, err := apps.ResolveTrigger(*every, *interval)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
+		os.Exit(2)
+	}
+	opts := []ccift.Option{
+		ccift.WithRanks(*ranks),
+		ccift.WithMode(ccift.Full),
+		ccift.WithFailures(kills...),
+		ccift.WithSeed(*seed),
+		ccift.WithMaxRestarts(*maxRestarts),
+		ccift.WithDistributed(ccift.Distributed{
+			StoreDir:        *storeDir,
+			DetectorTimeout: *detector,
+			Verbose:         *verbose,
+		}),
+	}
+	if intv > 0 {
+		opts = append(opts, ccift.WithInterval(intv))
+	} else {
+		opts = append(opts, ccift.WithEveryN(everyN))
+	}
+	spec := ccift.NewSpec(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	if launch.IsWorker() {
-		launch.WorkerMain(launch.WorkerApp{
-			Prog:     prog,
-			EveryN:   everyN,
-			Interval: *interval,
-			Seed:     *seed,
-		})
+	if !ccift.IsWorker() {
+		fmt.Printf("c3launch: %s on %d rank processes, ~%s application state per rank, %d scheduled SIGKILL(s)\n",
+			*app, *ranks, apps.HumanBytes(stateBytes), len(kills))
 	}
-
-	fmt.Printf("c3launch: %s on %d rank processes, ~%s application state per rank, %d scheduled SIGKILL(s)\n",
-		*app, *ranks, launch.HumanBytes(stateBytes), len(kills))
 	start := time.Now()
-	res, err := launch.Run(launch.Config{
-		Args:            os.Args[1:],
-		Ranks:           *ranks,
-		StoreDir:        *storeDir,
-		Kills:           kills,
-		MaxRestarts:     *maxRestarts,
-		DetectorTimeout: *detector,
-		Verbose:         *verbose,
-	})
+	res, err := ccift.Launch(ctx, spec, prog) // in a worker process this call never returns
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(res.Summary(time.Since(start)))
+	fmt.Print(apps.Summary(res.Values, res.Restarts, res.RecoveredEpochs, time.Since(start)))
 }

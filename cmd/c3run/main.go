@@ -10,49 +10,26 @@
 //	c3run -app neurosys -store /tmp/ckpts      # checkpoints on disk
 //	c3run -app laplace -distributed -ranks 4   # one OS process per rank over
 //	                                           # TCP; -kill is a real SIGKILL
+//	c3run -app cg -timeout 30s                 # cancel the run after 30s
 //
 // The tool prints per-incarnation progress, the recovered epoch of each
-// restart, and the final protocol statistics. With -distributed it defers
-// to the process launcher (see cmd/c3launch), re-exec'ing itself as the
-// worker binary.
+// restart, and the final protocol statistics. It is a thin wrapper over
+// ccift.Launch: one spec selects the substrate, and in a -distributed run
+// the re-exec'd worker processes re-enter the very same Launch call.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
 	"time"
 
 	"ccift"
 	"ccift/internal/apps"
-	"ccift/internal/launch"
 	"ccift/internal/trace"
 )
-
-type killList []ccift.Failure
-
-func (k *killList) String() string { return fmt.Sprint(*k) }
-
-// Set parses rank@op; the i-th -kill flag applies to incarnation i, so a
-// sequence of flags exercises recovery from recovery.
-func (k *killList) Set(v string) error {
-	rank, op, ok := strings.Cut(v, "@")
-	if !ok {
-		return fmt.Errorf("want rank@op, got %q", v)
-	}
-	r, err := strconv.Atoi(rank)
-	if err != nil {
-		return err
-	}
-	o, err := strconv.ParseInt(op, 10, 64)
-	if err != nil {
-		return err
-	}
-	*k = append(*k, ccift.Failure{Rank: r, AtOp: o, Incarnation: len(*k)})
-	return nil
-}
 
 func main() {
 	app := flag.String("app", "laplace", "application: cg, laplace, neurosys")
@@ -62,9 +39,10 @@ func main() {
 	every := flag.Int("every", 0, "checkpoint every N PotentialCheckpoint calls on the initiator")
 	interval := flag.Duration("interval", 0, "checkpoint on a wall-clock interval (the paper used 30s)")
 	storeDir := flag.String("store", "", "checkpoint directory (default: in memory)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0: no deadline)")
 	traceOut := flag.Bool("trace", false, "print a space-time diagram of protocol events")
 	distributed := flag.Bool("distributed", false, "run each rank as its own OS process over TCP (kills become real SIGKILLs)")
-	var kills killList
+	var kills apps.KillFlag
 	flag.Var(&kills, "kill", "rank@op stopping failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
 
@@ -74,105 +52,90 @@ func main() {
 		os.Exit(2)
 	}
 
-	everyN := *every
-	if everyN == 0 && *interval == 0 {
-		everyN = 25
+	everyN, intv, err := apps.ResolveTrigger(*every, *interval)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
+		os.Exit(2)
 	}
-	if launch.IsWorker() {
-		// This process is one rank of a -distributed run, re-exec'd by the
-		// launcher below (or by c3launch): build the world from the
-		// environment and never return.
-		launch.WorkerMain(launch.WorkerApp{Prog: prog, EveryN: everyN, Interval: *interval})
+	opts := []ccift.Option{
+		ccift.WithRanks(*ranks),
+		ccift.WithMode(ccift.Full),
+		ccift.WithFailures(kills...),
 	}
+	if intv > 0 {
+		opts = append(opts, ccift.WithInterval(intv))
+	} else {
+		opts = append(opts, ccift.WithEveryN(everyN))
+	}
+
+	var rec *trace.Recorder
 	if *distributed {
 		if *traceOut {
 			fmt.Fprintln(os.Stderr, "c3run: -trace is not supported with -distributed (the recorder is in-process); ignoring")
 		}
-		runDistributed(*app, *ranks, stateBytes, *storeDir, kills)
-		return
-	}
-
-	cfg := ccift.Config{
-		Ranks:    *ranks,
-		Mode:     ccift.Full,
-		EveryN:   everyN,
-		Interval: *interval,
-		Failures: kills,
-	}
-	var rec *trace.Recorder
-	if *traceOut {
-		rec = trace.New()
-		cfg.Tracer = rec
-	}
-	if *storeDir != "" {
-		store, err := ccift.NewDiskStore(*storeDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
-			os.Exit(1)
+		opts = append(opts, ccift.WithDistributed(ccift.Distributed{StoreDir: *storeDir}))
+	} else {
+		if *traceOut {
+			rec = trace.New()
+			opts = append(opts, ccift.WithTracer(rec))
 		}
-		cfg.Store = store
+		if *storeDir != "" {
+			store, err := ccift.NewDiskStore(*storeDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
+				os.Exit(1)
+			}
+			opts = append(opts, ccift.WithStore(store))
+		}
+	}
+	spec := ccift.NewSpec(opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	fmt.Printf("c3run: %s on %d ranks, ~%s application state per rank, %d injected failure(s)\n",
-		*app, *ranks, launch.HumanBytes(stateBytes), len(kills))
+	if !ccift.IsWorker() {
+		// Launcher side only: a -distributed worker re-executes this binary
+		// and must not echo the header into the captured rank output.
+		what := "ranks"
+		if *distributed {
+			what = "rank processes (distributed)"
+		}
+		fmt.Printf("c3run: %s on %d %s, ~%s application state per rank, %d injected failure(s)\n",
+			*app, *ranks, what, apps.HumanBytes(stateBytes), len(kills))
+	}
 	start := time.Now()
-	res, err := ccift.Run(cfg, prog)
+	res, err := ccift.Launch(ctx, spec, prog) // in a worker process this call never returns
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
 		os.Exit(1)
 	}
-	elapsed := time.Since(start)
+	fmt.Print(apps.Summary(res.Values, res.Restarts, res.RecoveredEpochs, time.Since(start)))
 
-	fmt.Printf("completed in %.2fs with %d restart(s)\n", elapsed.Seconds(), res.Restarts)
-	for i, e := range res.RecoveredEpochs {
-		if e < 0 {
-			fmt.Printf("  restart %d: no committed checkpoint yet — restarted from the beginning\n", i+1)
-		} else {
-			fmt.Printf("  restart %d: recovered from global checkpoint %d\n", i+1, e)
+	if len(res.Stats) > 0 {
+		var total ccift.Stats
+		for _, s := range res.Stats {
+			total.MessagesSent += s.MessagesSent
+			total.BytesSent += s.BytesSent
+			total.CheckpointsTaken += s.CheckpointsTaken
+			total.CheckpointBytes += s.CheckpointBytes
+			total.LateLogged += s.LateLogged
+			total.LogBytes += s.LogBytes
+			total.ReplayedLate += s.ReplayedLate
+			total.SuppressedSends += s.SuppressedSends
 		}
+		fmt.Printf("stats: %d msgs (%s), %d local checkpoints (%s), %d late logged (%s logs), %d replayed, %d sends suppressed\n",
+			total.MessagesSent, apps.HumanBytes(total.BytesSent),
+			total.CheckpointsTaken, apps.HumanBytes(total.CheckpointBytes),
+			total.LateLogged, apps.HumanBytes(total.LogBytes),
+			total.ReplayedLate, total.SuppressedSends)
 	}
-	var total ccift.Stats
-	for _, s := range res.Stats {
-		total.MessagesSent += s.MessagesSent
-		total.BytesSent += s.BytesSent
-		total.CheckpointsTaken += s.CheckpointsTaken
-		total.CheckpointBytes += s.CheckpointBytes
-		total.LateLogged += s.LateLogged
-		total.LogBytes += s.LogBytes
-		total.ReplayedLate += s.ReplayedLate
-		total.SuppressedSends += s.SuppressedSends
-	}
-	fmt.Printf("result: %v\n", res.Values[0])
-	fmt.Printf("stats: %d msgs (%s), %d local checkpoints (%s), %d late logged (%s logs), %d replayed, %d sends suppressed\n",
-		total.MessagesSent, launch.HumanBytes(total.BytesSent),
-		total.CheckpointsTaken, launch.HumanBytes(total.CheckpointBytes),
-		total.LateLogged, launch.HumanBytes(total.LogBytes),
-		total.ReplayedLate, total.SuppressedSends)
 	if rec != nil {
 		fmt.Printf("\nprotocol event summary:\n%s", rec.Summary())
 		fmt.Printf("\ntimeline (last %d events):\n%s", rec.Len(), rec.Timeline(*ranks))
 	}
-}
-
-// runDistributed defers to the process launcher: one OS process per rank,
-// this binary re-exec'd as the worker, kills delivered as real SIGKILLs.
-func runDistributed(app string, ranks int, stateBytes int64, storeDir string, kills killList) {
-	specs := make([]launch.KillSpec, len(kills))
-	for i, f := range kills {
-		specs[i] = launch.KillSpec{Rank: f.Rank, AtOp: f.AtOp, Incarnation: f.Incarnation}
-	}
-	fmt.Printf("c3run: %s on %d rank processes (distributed), ~%s application state per rank, %d scheduled SIGKILL(s)\n",
-		app, ranks, launch.HumanBytes(stateBytes), len(specs))
-	start := time.Now()
-	res, err := launch.Run(launch.Config{
-		Args:     os.Args[1:],
-		Ranks:    ranks,
-		StoreDir: storeDir,
-		Kills:    specs,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Print(res.Summary(time.Since(start)))
 }

@@ -12,6 +12,11 @@
 //
 // All files of one invocation are treated as a single package, so the
 // checkpointable-function analysis crosses file boundaries.
+//
+// The emitted Register / deferred Unregister pairs are depth-verified at
+// runtime: an instrumented scope that unregisters without having
+// registered (or pops a descriptor pushed behind the Rank's back) panics
+// naming the variables involved, instead of silently corrupting the VDS.
 package main
 
 import (

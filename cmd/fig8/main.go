@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"ccift/internal/harness"
 )
@@ -56,10 +58,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A sweep at -scale paper runs for minutes; ^C cancels the in-flight
+	// engine run cleanly instead of leaving goroutines mid-incarnation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	failed := false
 	for _, e := range exps {
 		e.Repeats = *repeats
-		table, err := e.Run()
+		table, err := e.RunContext(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig8: %s: %v\n", e.App, err)
 			os.Exit(1)

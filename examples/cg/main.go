@@ -1,5 +1,5 @@
 // Conjugate Gradient under checkpointing: the paper's first benchmark,
-// written against the public API. A dense symmetric positive-definite
+// written against the ccift v1 API. A dense symmetric positive-definite
 // system is solved with block-row distribution; the main loop's allreduce
 // and allgather run through the protocol layer, and the full matrix block
 // is part of every checkpoint (the paper's system saves everything too —
@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,13 +25,21 @@ func main() {
 	every := flag.Int("every", 30, "checkpoint every N iterations")
 	killRank := flag.Int("kill", -1, "rank to stop-fail (-1: none)")
 	killOp := flag.Int64("killop", 400, "operation index of the failure")
+	short := flag.Bool("short", false, "run a reduced problem (CI)")
 	flag.Parse()
-
-	cfg := ccift.Config{Ranks: *ranks, Mode: ccift.Full, EveryN: *every}
-	if *killRank >= 0 {
-		cfg.Failures = []ccift.Failure{{Rank: *killRank, AtOp: *killOp}}
+	if *short {
+		*n, *iters, *every = 256, 30, 10
 	}
-	res, err := ccift.Run(cfg, cgProgram(*n, *iters))
+
+	opts := []ccift.Option{
+		ccift.WithRanks(*ranks),
+		ccift.WithMode(ccift.Full),
+		ccift.WithEveryN(*every),
+	}
+	if *killRank >= 0 {
+		opts = append(opts, ccift.WithFailures(ccift.Failure{Rank: *killRank, AtOp: *killOp}))
+	}
+	res, err := ccift.Launch(context.Background(), ccift.NewSpec(opts...), cgProgram(*n, *iters))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,64 +62,62 @@ func cgProgram(n, iters int) ccift.Program {
 		rows := n / ranks
 		lo := r.Rank() * rows
 
-		var it int
-		a := make([]float64, rows*n)
-		x := make([]float64, rows)
-		res := make([]float64, rows)
-		dir := make([]float64, rows)
-		var rs float64
-		r.Register("it", &it)
-		r.Register("a", &a)
-		r.Register("x", &x)
-		r.Register("res", &res)
-		r.Register("dir", &dir)
-		r.Register("rs", &rs)
+		it := ccift.Reg[int](r, "it")
+		a := ccift.Reg[[]float64](r, "a")
+		x := ccift.Reg[[]float64](r, "x")
+		res := ccift.Reg[[]float64](r, "res")
+		dir := ccift.Reg[[]float64](r, "dir")
+		rs := ccift.Reg[float64](r, "rs")
 
 		if !r.Restarting() {
+			*a = make([]float64, rows*n)
+			*x = make([]float64, rows)
+			*res = make([]float64, rows)
+			*dir = make([]float64, rows)
 			for li := 0; li < rows; li++ {
 				gi := lo + li
 				sum := 0.0
 				for j := 0; j < n; j++ {
 					if j != gi {
 						v := entry(gi, j)
-						a[li*n+j] = v
+						(*a)[li*n+j] = v
 						sum += v
 					}
 				}
-				a[li*n+gi] = sum + 1
+				(*a)[li*n+gi] = sum + 1
 			}
-			for i := range res {
-				res[i], dir[i] = 1, 1
+			for i := range *res {
+				(*res)[i], (*dir)[i] = 1, 1
 			}
-			rs = r.AllreduceF64([]float64{dot(res, res)}, ccift.SumF64)[0]
+			*rs = ccift.Allreduce(r, []float64{dot(*res, *res)}, ccift.SumF64)[0]
 		}
 
-		for ; it < iters; it++ {
+		for ; *it < iters; *it++ {
 			r.PotentialCheckpoint()
-			p := r.AllgatherF64(dir)
+			p := r.AllgatherF64(*dir)
 			q := make([]float64, rows)
 			for li := 0; li < rows; li++ {
-				row := a[li*n : (li+1)*n]
+				row := (*a)[li*n : (li+1)*n]
 				s := 0.0
 				for j, pv := range p {
 					s += row[j] * pv
 				}
 				q[li] = s
 			}
-			alpha := rs / r.AllreduceF64([]float64{dot(dir, q)}, ccift.SumF64)[0]
-			for i := range x {
-				x[i] += alpha * dir[i]
-				res[i] -= alpha * q[i]
+			alpha := *rs / ccift.Allreduce(r, []float64{dot(*dir, q)}, ccift.SumF64)[0]
+			for i := range *x {
+				(*x)[i] += alpha * (*dir)[i]
+				(*res)[i] -= alpha * q[i]
 			}
-			rsNew := r.AllreduceF64([]float64{dot(res, res)}, ccift.SumF64)[0]
-			beta := rsNew / rs
-			rs = rsNew
-			for i := range dir {
-				dir[i] = res[i] + beta*dir[i]
+			rsNew := ccift.Allreduce(r, []float64{dot(*res, *res)}, ccift.SumF64)[0]
+			beta := rsNew / *rs
+			*rs = rsNew
+			for i := range *dir {
+				(*dir)[i] = (*res)[i] + beta*(*dir)[i]
 			}
 		}
-		norm := r.AllreduceF64([]float64{dot(x, x)}, ccift.SumF64)[0]
-		return fmt.Sprintf("‖x‖=%.9f residual=%.3g", math.Sqrt(norm), math.Sqrt(rs)), nil
+		norm := ccift.Allreduce(r, []float64{dot(*x, *x)}, ccift.SumF64)[0]
+		return fmt.Sprintf("‖x‖=%.9f residual=%.3g", math.Sqrt(norm), math.Sqrt(*rs)), nil
 	}
 }
 

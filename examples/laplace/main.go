@@ -2,12 +2,15 @@
 // benchmark. An n×n plate is relaxed by neighbour averaging, block rows
 // per rank, border rows exchanged each iteration — the halo messages are
 // where the protocol's piggybacked control information rides. Checkpoints
-// fire on a wall-clock interval, as in the paper's 30-second setting.
+// fire on a wall-clock interval, as in the paper's 30-second setting, and
+// the halo exchange uses the typed ccift.Send/ccift.Recv front end (one
+// payload copy instead of SendF64's two).
 //
 //	go run ./examples/laplace -n 512 -iters 2000 -interval 500ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,14 +29,18 @@ func main() {
 	iters := flag.Int("iters", 2000, "iterations")
 	ranks := flag.Int("ranks", 8, "ranks")
 	interval := flag.Duration("interval", 500*time.Millisecond, "checkpoint interval (paper: 30s)")
+	short := flag.Bool("short", false, "run a reduced problem (CI)")
 	flag.Parse()
+	if *short {
+		*n, *iters, *interval = 64, 120, 20*time.Millisecond
+	}
 
 	start := time.Now()
-	res, err := ccift.Run(ccift.Config{
-		Ranks:    *ranks,
-		Mode:     ccift.Full,
-		Interval: *interval,
-	}, laplaceProgram(*n, *iters))
+	res, err := ccift.Launch(context.Background(), ccift.NewSpec(
+		ccift.WithRanks(*ranks),
+		ccift.WithMode(ccift.Full),
+		ccift.WithInterval(*interval),
+	), laplaceProgram(*n, *iters))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,65 +65,66 @@ func laplaceProgram(n, iters int) ccift.Program {
 		me := r.Rank()
 
 		// grid holds a ghost row, the owned block, and another ghost row.
-		var it int
-		grid := make([]float64, (rows+2)*n)
-		next := make([]float64, (rows+2)*n)
-		r.Register("it", &it)
-		r.Register("grid", &grid)
-		r.Register("next", &next)
-
-		if !r.Restarting() && me == 0 {
-			for j := 0; j < n; j++ {
-				grid[1*n+j] = 1 // hot top edge
+		it := ccift.Reg[int](r, "it")
+		grid := ccift.Reg[[]float64](r, "grid")
+		next := ccift.Reg[[]float64](r, "next")
+		if !r.Restarting() {
+			*grid = make([]float64, (rows+2)*n)
+			*next = make([]float64, (rows+2)*n)
+			if me == 0 {
+				for j := 0; j < n; j++ {
+					(*grid)[1*n+j] = 1 // hot top edge
+				}
 			}
 		}
 
-		for ; it < iters; it++ {
+		for ; *it < iters; *it++ {
 			r.PotentialCheckpoint()
+			g, nx := *grid, *next
 
 			// Halo exchange with the ranks above and below.
 			if me > 0 {
-				r.SendF64(me-1, tagUp, grid[1*n:2*n])
+				ccift.Send(r, me-1, tagUp, g[1*n:2*n])
 			}
 			if me < ranks-1 {
-				r.SendF64(me+1, tagDown, grid[rows*n:(rows+1)*n])
+				ccift.Send(r, me+1, tagDown, g[rows*n:(rows+1)*n])
 			}
 			if me < ranks-1 {
-				copy(grid[(rows+1)*n:], r.RecvF64(me+1, tagUp))
+				copy(g[(rows+1)*n:], ccift.Recv[float64](r, me+1, tagUp))
 			}
 			if me > 0 {
-				copy(grid[0:n], r.RecvF64(me-1, tagDown))
+				copy(g[0:n], ccift.Recv[float64](r, me-1, tagDown))
 			}
 
 			for li := 1; li <= rows; li++ {
 				gi := me*rows + li - 1
 				for j := 0; j < n; j++ {
 					if gi == 0 {
-						next[li*n+j] = grid[li*n+j] // fixed boundary row
+						nx[li*n+j] = g[li*n+j] // fixed boundary row
 						continue
 					}
-					up := grid[(li-1)*n+j]
-					down := grid[(li+1)*n+j]
+					up := g[(li-1)*n+j]
+					down := g[(li+1)*n+j]
 					left, right := 0.0, 0.0
 					if j > 0 {
-						left = grid[li*n+j-1]
+						left = g[li*n+j-1]
 					}
 					if j < n-1 {
-						right = grid[li*n+j+1]
+						right = g[li*n+j+1]
 					}
-					next[li*n+j] = (up + down + left + right) / 4
+					nx[li*n+j] = (up + down + left + right) / 4
 				}
 			}
-			grid, next = next, grid
+			*grid, *next = nx, g
 		}
 
 		local := 0.0
 		for li := 1; li <= rows; li++ {
 			for j := 0; j < n; j++ {
-				local += grid[li*n+j]
+				local += (*grid)[li*n+j]
 			}
 		}
-		total := r.AllreduceF64([]float64{local}, ccift.SumF64)
+		total := ccift.Allreduce(r, []float64{local}, ccift.SumF64)
 		return fmt.Sprintf("%.6f", total[0]), nil
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,14 +24,22 @@ func main() {
 	iters := flag.Int("iters", 400, "RK4 time steps")
 	ranks := flag.Int("ranks", 8, "ranks")
 	every := flag.Int("every", 100, "checkpoint every N steps")
+	short := flag.Bool("short", false, "run a reduced problem (CI)")
 	flag.Parse()
+	if *short {
+		*k, *iters, *every = 16, 60, 20
+	}
 
 	modes := []ccift.Mode{ccift.Unmodified, ccift.PiggybackOnly, ccift.NoAppState, ccift.Full}
 	base := 0.0
 	for _, mode := range modes {
-		cfg := ccift.Config{Ranks: *ranks, Mode: mode, EveryN: *every}
+		spec := ccift.NewSpec(
+			ccift.WithRanks(*ranks),
+			ccift.WithMode(mode),
+			ccift.WithEveryN(*every),
+		)
 		start := time.Now()
-		res, err := ccift.Run(cfg, neurosysProgram(*k, *iters))
+		res, err := ccift.Launch(context.Background(), spec, neurosysProgram(*k, *iters))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,18 +68,17 @@ func neurosysProgram(k, iters int) ccift.Program {
 		lo := r.Rank() * local
 		const dt = 0.01
 
-		var it int
-		v := make([]float64, local)
-		drive := make([]float64, local)
-		r.Register("it", &it)
-		r.Register("v", &v)
-		r.Register("drive", &drive)
+		it := ccift.Reg[int](r, "it")
+		v := ccift.Reg[[]float64](r, "v")
+		drive := ccift.Reg[[]float64](r, "drive")
 
 		if !r.Restarting() {
-			for i := range v {
+			*v = make([]float64, local)
+			*drive = make([]float64, local)
+			for i := range *v {
 				gi := lo + i
-				v[i] = 0.5 * math.Sin(float64(gi)*0.7)
-				drive[i] = 0.1 + 0.05*math.Cos(float64(gi)*0.3)
+				(*v)[i] = 0.5 * math.Sin(float64(gi)*0.7)
+				(*drive)[i] = 0.1 + 0.05*math.Cos(float64(gi)*0.3)
 			}
 		}
 
@@ -86,49 +94,50 @@ func neurosysProgram(k, iters int) ccift.Program {
 				}
 			}
 			inh := all[((row+col)%k)*k+col]
-			return -vi + math.Tanh(in-0.3*inh+drive[i])
+			return -vi + math.Tanh(in-0.3*inh+(*drive)[i])
 		}
 
-		for ; it < iters; it++ {
+		for ; *it < iters; *it++ {
 			r.PotentialCheckpoint()
+			vs := *v
 
 			// RK4: each sub-stage needs the full network state — the five
 			// allgathers of the paper's description (four stages plus the
 			// final assembly below).
-			all := r.AllgatherF64(v)
+			all := r.AllgatherF64(vs)
 			k1 := make([]float64, local)
 			for i := range k1 {
-				k1[i] = deriv(all, i, v[i])
+				k1[i] = deriv(all, i, vs[i])
 			}
-			all = r.AllgatherF64(stageState(v, k1, dt/2))
+			all = r.AllgatherF64(stageState(vs, k1, dt/2))
 			k2 := make([]float64, local)
 			for i := range k2 {
-				k2[i] = deriv(all, i, v[i]+dt/2*k1[i])
+				k2[i] = deriv(all, i, vs[i]+dt/2*k1[i])
 			}
-			all = r.AllgatherF64(stageState(v, k2, dt/2))
+			all = r.AllgatherF64(stageState(vs, k2, dt/2))
 			k3 := make([]float64, local)
 			for i := range k3 {
-				k3[i] = deriv(all, i, v[i]+dt/2*k2[i])
+				k3[i] = deriv(all, i, vs[i]+dt/2*k2[i])
 			}
-			all = r.AllgatherF64(stageState(v, k3, dt))
+			all = r.AllgatherF64(stageState(vs, k3, dt))
 			k4 := make([]float64, local)
 			for i := range k4 {
-				k4[i] = deriv(all, i, v[i]+dt*k3[i])
+				k4[i] = deriv(all, i, vs[i]+dt*k3[i])
 			}
-			for i := range v {
-				v[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			for i := range vs {
+				vs[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
 			}
-			_ = r.AllgatherF64(v) // network state published for monitoring
-			if it%50 == 0 {
-				r.GatherF64(0, v) // periodic observation at the root
+			_ = r.AllgatherF64(vs) // network state published for monitoring
+			if *it%50 == 0 {
+				r.GatherF64(0, vs) // periodic observation at the root
 			}
 		}
 
 		local0 := 0.0
-		for _, x := range v {
+		for _, x := range *v {
 			local0 += x
 		}
-		sum := r.AllreduceF64([]float64{local0}, ccift.SumF64)
+		sum := ccift.Allreduce(r, []float64{local0}, ccift.SumF64)
 		return fmt.Sprintf("%.9f", sum[0]), nil
 	}
 }

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -21,12 +23,14 @@ import (
 )
 
 func main() {
-	res, err := ccift.Run(ccift.Config{
-		Ranks:    4,
-		Mode:     ccift.Full,
-		EveryN:   6,
-		Failures: []ccift.Failure{{Rank: 2, AtOp: 160}},
-	}, func(r *ccift.Rank) (any, error) {
+	flag.Bool("short", false, "accepted for CI symmetry; the demo is already small")
+	flag.Parse()
+	res, err := ccift.Launch(context.Background(), ccift.NewSpec(
+		ccift.WithRanks(4),
+		ccift.WithMode(ccift.Full),
+		ccift.WithEveryN(6),
+		ccift.WithFailures(ccift.Failure{Rank: 2, AtOp: 160}),
+	), func(r *ccift.Rank) (any, error) {
 		return worker(r, 30), nil
 	})
 	if err != nil {

@@ -1,10 +1,13 @@
 // Quickstart: a four-rank program that checkpoints every few iterations
-// and survives an injected failure of rank 2.
+// and survives an injected failure of rank 2, written against the ccift v1
+// API — one Launch call, typed state registration, functional options.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,33 +15,39 @@ import (
 )
 
 func main() {
-	prog := func(r *ccift.Rank) (any, error) {
-		// Recoverable state: register everything a restart must restore.
-		var it int
-		var acc float64
-		r.Register("it", &it)
-		r.Register("acc", &acc)
+	short := flag.Bool("short", false, "run a reduced problem (CI)")
+	flag.Parse()
+	iters := 50
+	if *short {
+		iters = 20
+	}
 
-		for ; it < 50; it++ {
+	prog := func(r *ccift.Rank) (any, error) {
+		// Recoverable state: everything a restart must restore is declared
+		// once; Reg returns a pointer the checkpoint machinery tracks.
+		it := ccift.Reg[int](r, "it")
+		acc := ccift.Reg[float64](r, "acc")
+
+		for ; *it < iters; *it++ {
 			// A checkpoint may be taken here whenever the initiator asks.
 			r.PotentialCheckpoint()
 
 			// Each rank contributes its rank number; the global sum after
-			// 50 iterations is 50 * (0+1+2+3) = 300 on every rank.
-			part := r.AllreduceF64([]float64{float64(r.Rank())}, ccift.SumF64)
-			acc += part[0]
+			// iters iterations is iters * (0+1+2+3) on every rank.
+			part := ccift.Allreduce(r, []float64{float64(r.Rank())}, ccift.SumF64)
+			*acc += part[0]
 		}
-		return acc, nil
+		return *acc, nil
 	}
 
-	res, err := ccift.Run(ccift.Config{
-		Ranks:  4,
-		Mode:   ccift.Full,
-		EveryN: 10, // global checkpoint every 10 iterations
+	res, err := ccift.Launch(context.Background(), ccift.NewSpec(
+		ccift.WithRanks(4),
+		ccift.WithMode(ccift.Full),
+		ccift.WithEveryN(10), // global checkpoint every 10 iterations
 		// Rank 2 stop-fails at its 120th operation; the run rolls back to
 		// the last committed checkpoint and completes anyway.
-		Failures: []ccift.Failure{{Rank: 2, AtOp: 120}},
-	}, prog)
+		ccift.WithFailures(ccift.Failure{Rank: 2, AtOp: 120}),
+	), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

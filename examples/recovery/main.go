@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +17,9 @@ import (
 )
 
 func main() {
+	flag.Bool("short", false, "accepted for CI symmetry; the walkthrough is already small")
+	flag.Parse()
+
 	dir, err := os.MkdirTemp("", "ccift-recovery-*")
 	if err != nil {
 		log.Fatal(err)
@@ -26,23 +31,21 @@ func main() {
 	}
 
 	prog := func(r *ccift.Rank) (any, error) {
-		var it int
-		var trace []float64
-		r.Register("it", &it)
-		r.Register("trace", &trace)
+		it := ccift.Reg[int](r, "it")
+		trace := ccift.Reg[[]float64](r, "trace")
 
-		for ; it < 40; it++ {
+		for ; *it < 40; *it++ {
 			r.PotentialCheckpoint()
 			if r.Rank() == 0 {
 				// A logged non-deterministic decision: raw randomness
 				// diverges between incarnations, but the log pins the values
 				// the surviving global state depends on.
 				v := r.Random()
-				trace = append(trace, v)
-				r.SendF64(1, 1, []float64{v})
+				*trace = append(*trace, v)
+				ccift.Send(r, 1, 1, []float64{v})
 			} else if r.Rank() == 1 {
-				in := r.RecvF64(0, 1)
-				trace = append(trace, in[0])
+				in := ccift.Recv[float64](r, 0, 1)
+				*trace = append(*trace, in[0])
 			} else {
 				r.Barrier() // other ranks synchronize each round
 				continue
@@ -50,23 +53,22 @@ func main() {
 			r.Barrier()
 		}
 		sum := 0.0
-		for _, v := range trace {
+		for _, v := range *trace {
 			sum += v
 		}
 		return fmt.Sprintf("%.12f", sum), nil
 	}
 
-	cfg := ccift.Config{
-		Ranks:  3,
-		Mode:   ccift.Full,
-		EveryN: 8,
-		Store:  store,
-		Failures: []ccift.Failure{
-			{Rank: 1, AtOp: 150, Incarnation: 0}, // first failure
-			{Rank: 0, AtOp: 100, Incarnation: 1}, // second, during recovery's run
-		},
-	}
-	res, err := ccift.Run(cfg, prog)
+	res, err := ccift.Launch(context.Background(), ccift.NewSpec(
+		ccift.WithRanks(3),
+		ccift.WithMode(ccift.Full),
+		ccift.WithEveryN(8),
+		ccift.WithStore(store),
+		ccift.WithFailures(
+			ccift.Failure{Rank: 1, AtOp: 150, Incarnation: 0}, // first failure
+			ccift.Failure{Rank: 0, AtOp: 100, Incarnation: 1}, // second, during recovery's run
+		),
+	), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,9 @@ package apps
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"time"
 
 	"ccift/internal/apps/cg"
 	"ccift/internal/apps/laplace"
@@ -14,6 +17,76 @@ import (
 
 // Names lists the registered applications.
 func Names() []string { return []string{"cg", "laplace", "neurosys"} }
+
+// KillFlag parses the drivers' repeatable -kill rank@op flags into a
+// failure schedule; the i-th flag applies to incarnation i, so a sequence
+// of flags exercises recovery from recovery.
+type KillFlag []engine.Failure
+
+func (k *KillFlag) String() string { return fmt.Sprint(*k) }
+
+// Set parses one rank@op spec.
+func (k *KillFlag) Set(v string) error {
+	rank, op, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("want rank@op, got %q", v)
+	}
+	r, err := strconv.Atoi(rank)
+	if err != nil {
+		return err
+	}
+	o, err := strconv.ParseInt(op, 10, 64)
+	if err != nil {
+		return err
+	}
+	*k = append(*k, engine.Failure{Rank: r, AtOp: o, Incarnation: len(*k)})
+	return nil
+}
+
+// ResolveTrigger applies the drivers' shared checkpoint-trigger policy:
+// an explicit -every and -interval are mutually exclusive (matching the
+// spec validation, instead of silently preferring one), and when neither
+// is given the op-count trigger defaults to every 25 calls.
+func ResolveTrigger(every int, interval time.Duration) (int, time.Duration, error) {
+	if every > 0 && interval > 0 {
+		return 0, 0, fmt.Errorf("-every (%d) and -interval (%v) are mutually exclusive checkpoint triggers; pick one", every, interval)
+	}
+	if every == 0 && interval == 0 {
+		return 25, 0, nil
+	}
+	return every, interval, nil
+}
+
+// HumanBytes renders a byte count for the drivers' headers.
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Summary renders the run epilogue both driver CLIs print: elapsed time,
+// restart count, per-restart recovery provenance, and the first rank's
+// result value.
+func Summary(values []any, restarts int, recovered []int, elapsed time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed in %.2fs with %d restart(s)\n", elapsed.Seconds(), restarts)
+	for i, e := range recovered {
+		if e < 0 {
+			fmt.Fprintf(&b, "  restart %d: no committed checkpoint yet — restarted from the beginning\n", i+1)
+		} else {
+			fmt.Fprintf(&b, "  restart %d: recovered from global checkpoint %d\n", i+1, e)
+		}
+	}
+	if len(values) > 0 {
+		fmt.Fprintf(&b, "result: %v\n", values[0])
+	}
+	return b.String()
+}
 
 // Build resolves an application by name, applying the per-app default size
 // and iteration count when the caller passes zero. It returns the program

@@ -98,6 +98,35 @@ func (v *VDS) Pop() {
 	v.entries = v.entries[:len(v.entries)-1]
 }
 
+// PopExpect removes the top live variable after verifying it is the one
+// registered under name. A mismatch means a push/pop imbalance — typically
+// a scope that unregisters without having registered — and is reported
+// with both names so the faulty call site is identifiable.
+func (v *VDS) PopExpect(name string) error {
+	if len(v.entries) == 0 {
+		return fmt.Errorf("ckpt: VDS.PopExpect(%q) on empty stack", name)
+	}
+	if top := v.entries[len(v.entries)-1].name; top != name {
+		return fmt.Errorf("ckpt: VDS.PopExpect(%q): stack top is %q — mismatched register/unregister pairing", name, top)
+	}
+	v.Pop()
+	return nil
+}
+
+// Live reports whether a variable is currently registered under name.
+func (v *VDS) Live(name string) bool {
+	_, ok := v.index[name]
+	return ok
+}
+
+// TopName returns the name of the most recently pushed live variable.
+func (v *VDS) TopName() (string, bool) {
+	if len(v.entries) == 0 {
+		return "", false
+	}
+	return v.entries[len(v.entries)-1].name, true
+}
+
 // Len reports the number of live descriptors.
 func (v *VDS) Len() int { return len(v.entries) }
 

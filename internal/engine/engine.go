@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -68,11 +69,17 @@ type Config struct {
 	// fail-stop self-report: a stopped rank is noticed only when its
 	// runtime's heartbeats go silent for this long, as on a real cluster.
 	DetectorTimeout time.Duration
+	// NewTransport, when non-nil, supplies the wire substrate for each
+	// incarnation's world; nil selects the in-process indexed-mailbox
+	// transport. The public API's WithTransport option lands here.
+	NewTransport func(*mpi.World) mpi.Transport
 }
 
 // Result reports a completed run.
 type Result struct {
-	// Values holds each rank's program return value.
+	// Values holds each rank's program return value. (The public Launch
+	// API reuses this type for distributed runs, where only rank 0's
+	// result crosses the process boundary — see ccift.Launch.)
 	Values []any
 	// Restarts is the number of rollback-restarts performed.
 	Restarts int
@@ -89,12 +96,95 @@ type Result struct {
 // MaxRestarts.
 var ErrTooManyRestarts = errors.New("engine: too many restarts")
 
+// RunError is the structured failure report of a run: which rank ended it
+// (-1 when the failure is not attributable to one rank), in which
+// incarnation, and how many rollback-restarts had been consumed. The
+// underlying cause is reachable through Unwrap, so errors.Is/As work on
+// sentinel causes (ErrTooManyRestarts, context.Canceled, ...).
+type RunError struct {
+	// Rank is the rank whose program error or panic ended the run, or -1
+	// when the run ended for a world-wide reason (cancellation, exhausted
+	// restarts, storage failure).
+	Rank int
+	// Incarnation is the incarnation in which the run ended (0 is the
+	// initial execution; -1 when the substrate cannot attribute the end to
+	// one incarnation, as for the distributed launcher).
+	Incarnation int
+	// Restarts is the number of rollback-restarts performed before the end.
+	Restarts int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *RunError) Error() string {
+	who := "run"
+	if e.Rank >= 0 {
+		who = fmt.Sprintf("rank %d", e.Rank)
+	}
+	if e.Incarnation < 0 {
+		// The substrate could not attribute the failure (distributed
+		// launcher): the cause already tells the whole story.
+		return fmt.Sprintf("engine: %s failed: %v", who, e.Err)
+	}
+	return fmt.Sprintf("engine: %s failed in incarnation %d after %d restart(s): %v",
+		who, e.Incarnation, e.Restarts, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Validate checks a Config for the errors that previously surfaced as
+// panics or hangs deep inside a run. It is called by Run/RunContext and by
+// the public API's spec validation.
+func (cfg Config) Validate() error {
+	if cfg.Ranks <= 0 {
+		return fmt.Errorf("engine: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.MaxRestarts < 0 {
+		return fmt.Errorf("engine: MaxRestarts must not be negative, got %d", cfg.MaxRestarts)
+	}
+	if cfg.EveryN < 0 {
+		return fmt.Errorf("engine: EveryN must not be negative, got %d", cfg.EveryN)
+	}
+	if cfg.Interval < 0 {
+		return fmt.Errorf("engine: Interval must not be negative, got %v", cfg.Interval)
+	}
+	if cfg.EveryN > 0 && cfg.Interval > 0 {
+		return fmt.Errorf("engine: conflicting checkpoint triggers: EveryN (%d) and Interval (%v) are mutually exclusive — pick one",
+			cfg.EveryN, cfg.Interval)
+	}
+	for i, f := range cfg.Failures {
+		if f.Rank < 0 || f.Rank >= cfg.Ranks {
+			return fmt.Errorf("engine: Failures[%d]: rank %d out of range [0,%d)", i, f.Rank, cfg.Ranks)
+		}
+		if f.AtOp <= 0 {
+			return fmt.Errorf("engine: Failures[%d]: AtOp must be positive, got %d", i, f.AtOp)
+		}
+		if f.Incarnation < 0 {
+			return fmt.Errorf("engine: Failures[%d]: Incarnation must not be negative, got %d", i, f.Incarnation)
+		}
+	}
+	return nil
+}
+
 // Run executes prog on cfg.Ranks ranks, rolling back and restarting from
 // the last committed global checkpoint whenever a rank stop-fails, until
 // the program completes on every rank.
 func Run(cfg Config, prog Program) (*Result, error) {
-	if cfg.Ranks <= 0 {
-		return nil, fmt.Errorf("engine: Ranks must be positive, got %d", cfg.Ranks)
+	return RunContext(context.Background(), cfg, prog)
+}
+
+// RunContext is Run under a context: when ctx is canceled or its deadline
+// expires, every rank is unblocked, the incarnation is abandoned, and the
+// run returns a *RunError wrapping ctx's error — there is no way to resume
+// it. Cancellation is observed at every substrate operation and whenever a
+// rank is parked in the transport, so it takes effect without waiting for
+// the program to reach any particular point.
+func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if cfg.Store == nil {
 		cfg.Store = storage.NewMemory()
@@ -106,16 +196,29 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	res := &Result{}
 
 	for incarnation := 0; ; incarnation++ {
+		if cause := ctx.Err(); cause != nil {
+			// Covers cancellation before the first incarnation and between
+			// incarnations — i.e. during the rollback a failed incarnation
+			// scheduled.
+			when := "before it started"
+			if incarnation > 0 {
+				when = "during rollback"
+			}
+			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
+				Err: fmt.Errorf("run canceled %s: %w", when, cause)}
+		}
 		if incarnation > cfg.MaxRestarts {
-			return nil, fmt.Errorf("%w (%d)", ErrTooManyRestarts, cfg.MaxRestarts)
+			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
+				Err: fmt.Errorf("%w (%d)", ErrTooManyRestarts, cfg.MaxRestarts)}
 		}
 		epoch, haveCkpt, err := cs.Committed()
 		if err != nil {
-			return nil, err
+			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts, Err: err}
 		}
 		if incarnation > 0 {
 			if haveCkpt && cfg.Mode != protocol.Full {
-				return nil, fmt.Errorf("engine: cannot recover from a checkpoint in mode %v", cfg.Mode)
+				return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
+					Err: fmt.Errorf("cannot recover from a checkpoint in mode %v", cfg.Mode)}
 			}
 			rec := -1
 			if haveCkpt {
@@ -135,7 +238,8 @@ func Run(cfg Config, prog Program) (*Result, error) {
 			for r := 0; r < cfg.Ranks; r++ {
 				ids, err := protocol.LoadEarlyIDs(cs, epoch, r)
 				if err != nil {
-					return nil, fmt.Errorf("engine: load early IDs of rank %d: %w", r, err)
+					return nil, &RunError{Rank: r, Incarnation: incarnation, Restarts: res.Restarts,
+						Err: fmt.Errorf("load early IDs: %w", err)}
 				}
 				for sender, set := range ids {
 					suppress[sender] = append(suppress[sender], set...)
@@ -147,28 +251,41 @@ func Run(cfg Config, prog Program) (*Result, error) {
 			// map.
 			primaryApp, err := protocol.LoadAppState(cs, epoch, 0)
 			if err != nil {
-				return nil, fmt.Errorf("engine: load primary app state: %w", err)
+				return nil, &RunError{Rank: 0, Incarnation: incarnation, Restarts: res.Restarts,
+					Err: fmt.Errorf("load primary app state: %w", err)}
 			}
 			if len(primaryApp) > 0 {
 				replicas, err = ckpt.ExtractReplicated(primaryApp)
 				if err != nil {
-					return nil, fmt.Errorf("engine: extract replicated data: %w", err)
+					return nil, &RunError{Rank: 0, Incarnation: incarnation, Restarts: res.Restarts,
+						Err: fmt.Errorf("extract replicated data: %w", err)}
 				}
 			}
 		}
 
 		world := mpi.NewWorld(cfg.Ranks, mpi.Options{
-			ChaosSeed: cfg.ChaosSeed,
-			ChaosAll:  cfg.ChaosAll,
-			KillPlan:  killPlan(cfg.Failures, incarnation),
+			ChaosSeed:    cfg.ChaosSeed,
+			ChaosAll:     cfg.ChaosAll,
+			KillPlan:     killPlan(cfg.Failures, incarnation),
+			NewTransport: cfg.NewTransport,
 		})
 
-		out := runIncarnation(cfg, cs, world, prog, incarnation, epoch, restore, suppress, replicas)
+		out := runIncarnation(ctx, cfg, cs, world, prog, incarnation, epoch, restore, suppress, replicas)
+		if out.canceled {
+			cause := ctx.Err()
+			if cause == nil {
+				cause = mpi.ErrCanceled
+			}
+			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
+				Err: fmt.Errorf("run canceled: %w", cause)}
+		}
 		if out.failed {
 			res.Restarts++
 			continue
 		}
 		if out.err != nil {
+			out.err.Incarnation = incarnation
+			out.err.Restarts = res.Restarts
 			return nil, out.err
 		}
 		res.Values = out.values
@@ -178,15 +295,22 @@ func Run(cfg Config, prog Program) (*Result, error) {
 }
 
 type incarnationResult struct {
-	failed bool
-	err    error
-	values []any
-	stats  []protocol.Stats
+	failed   bool
+	canceled bool
+	err      *RunError
+	values   []any
+	stats    []protocol.Stats
 }
 
-func runIncarnation(cfg Config, cs *storage.CheckpointStore, world *mpi.World,
+func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore, world *mpi.World,
 	prog Program, incarnation, epoch int, restore bool, suppress [][]uint32,
 	replicas map[string][]byte) incarnationResult {
+
+	// Cancellation: the moment ctx is done, cancel the world so every rank
+	// — blocked in the substrate or about to enter it — unwinds with
+	// mpi.ErrCanceled. Stopped when the incarnation ends either way.
+	stopCancel := context.AfterFunc(ctx, world.Cancel)
+	defer stopCancel()
 
 	n := cfg.Ranks
 	values := make([]any, n)
@@ -237,6 +361,7 @@ func runIncarnation(cfg Config, cs *storage.CheckpointStore, world *mpi.World,
 				Interval: cfg.Interval,
 				Debug:    cfg.Debug,
 				Tracer:   cfg.Tracer,
+				Ctx:      ctx,
 			})
 			rank := newRank(layer, cfg.Seed, incarnation)
 			if restore {
@@ -272,18 +397,25 @@ func runIncarnation(cfg Config, cs *storage.CheckpointStore, world *mpi.World,
 	}
 	wg.Wait()
 
+	// Cancellation dominates: a canceled run must report ctx.Err() even if
+	// some ranks happened to observe a concurrent injected failure.
+	for r := 0; r < n; r++ {
+		if panics[r] == mpi.ErrCanceled {
+			return incarnationResult{canceled: true}
+		}
+	}
 	for r := 0; r < n; r++ {
 		switch panics[r] {
 		case nil:
 		case mpi.ErrKilled, mpi.ErrWorldDead:
 			return incarnationResult{failed: true}
 		default:
-			return incarnationResult{err: fmt.Errorf("engine: rank %d panicked: %v", r, panics[r])}
+			return incarnationResult{err: &RunError{Rank: r, Err: fmt.Errorf("rank panicked: %v", panics[r])}}
 		}
 	}
 	for r := 0; r < n; r++ {
 		if errs[r] != nil {
-			return incarnationResult{err: fmt.Errorf("engine: rank %d: %w", r, errs[r])}
+			return incarnationResult{err: &RunError{Rank: r, Err: errs[r]}}
 		}
 	}
 	return incarnationResult{values: values, stats: stats}

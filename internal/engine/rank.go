@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 
 	"ccift/internal/ckpt"
@@ -16,6 +17,10 @@ type Rank struct {
 	l          *protocol.Layer
 	restarting bool
 	rng        *rand.Rand
+	// regs mirrors the VDS's push order for registrations made through this
+	// Rank, so Unregister can verify push/pop pairing by depth instead of
+	// blindly popping whatever is on top.
+	regs []string
 }
 
 func newRank(l *protocol.Layer, seed int64, incarnation int) *Rank {
@@ -68,7 +73,14 @@ func (r *Rank) Test(h protocol.Handle) (*protocol.AppMessage, bool) { return r.l
 // Waitall completes pseudo-handles in order.
 func (r *Rank) Waitall(hs []protocol.Handle) []*protocol.AppMessage { return r.l.Waitall(hs) }
 
-// SendF64 sends a float64 vector.
+// SendOwned sends a buffer whose ownership the caller hands over: no
+// defensive copy is made, so the caller must not modify data after the
+// call. The typed ccift.Send front end encodes into a fresh buffer and
+// sends it through here, so encoding is the payload's only copy.
+func (r *Rank) SendOwned(dst, tag int, data []byte) { r.l.SendOwned(dst, tag, data) }
+
+// SendF64 sends a float64 vector. Prefer the generic ccift.Send, which
+// skips this path's second payload copy.
 func (r *Rank) SendF64(dst, tag int, xs []float64) { r.l.Send(dst, tag, mpi.F64Bytes(xs)) }
 
 // RecvF64 receives a float64 vector.
@@ -136,8 +148,19 @@ func (r *Rank) PotentialCheckpoint() { r.l.PotentialCheckpoint() }
 // checkpoint and restored through ptr on restart. Names must be unique per
 // live scope.
 func (r *Rank) Register(name string, ptr any) {
+	fresh := !r.l.Saver.VDS.Live(name)
 	if err := r.l.Saver.VDS.Push(name, ptr); err != nil {
 		panic(err)
+	}
+	r.trackReg(name, fresh)
+}
+
+// trackReg records a registration made through this Rank. A re-registration
+// of a live name rebinds the existing descriptor in place (the VDS does not
+// grow), so only fresh pushes extend the pairing stack.
+func (r *Rank) trackReg(name string, fresh bool) {
+	if fresh {
+		r.regs = append(r.regs, name)
 	}
 }
 
@@ -147,9 +170,11 @@ func (r *Rank) Register(name string, ptr any) {
 // identical value — read-only data like CG's matrix block is the common
 // case, with the original initializer as the recomputation.
 func (r *Rank) RegisterComputed(name string, ptr any, recompute func() error) {
+	fresh := !r.l.Saver.VDS.Live(name)
 	if err := r.l.Saver.VDS.PushComputed(name, ptr, recompute); err != nil {
 		panic(err)
 	}
+	r.trackReg(name, fresh)
 }
 
 // RegisterReplicated pushes a descriptor for data every rank holds
@@ -157,13 +182,29 @@ func (r *Rank) RegisterComputed(name string, ptr any, recompute func() error) {
 // checkpoint carries the value; on restart the other ranks restore from
 // rank 0's copy.
 func (r *Rank) RegisterReplicated(name string, ptr any) {
+	fresh := !r.l.Saver.VDS.Live(name)
 	if err := r.l.Saver.VDS.PushReplicated(name, ptr); err != nil {
 		panic(err)
 	}
+	r.trackReg(name, fresh)
 }
 
-// Unregister pops the most recently registered variable (scope exit).
-func (r *Rank) Unregister() { r.l.Saver.VDS.Pop() }
+// Unregister pops the most recently registered variable (scope exit). The
+// pop is verified against this Rank's registration depth: calling
+// Unregister without a matching Register — or when the VDS top was pushed
+// behind the Rank's back — panics naming the variable involved, so a
+// missing Register surfaces at the unbalanced call site instead of as a
+// silently corrupted checkpoint.
+func (r *Rank) Unregister() {
+	if len(r.regs) == 0 {
+		panic("engine: Rank.Unregister without a matching Register")
+	}
+	name := r.regs[len(r.regs)-1]
+	if err := r.l.Saver.VDS.PopExpect(name); err != nil {
+		panic(fmt.Sprintf("engine: Rank.Unregister: %v", err))
+	}
+	r.regs = r.regs[:len(r.regs)-1]
+}
 
 // PS returns the position stack for precompiler-instrumented code.
 func (r *Rank) PS() *ckpt.PositionStack { return r.l.Saver.PS }

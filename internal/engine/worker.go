@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -79,9 +80,13 @@ type WorkerResult struct {
 // one exists, runs the program, and services control traffic until every
 // rank announces completion. A stop failure anywhere in the world surfaces
 // as ErrIncarnationDead; the caller exits so its launcher can re-spawn the
-// incarnation.
-func RunWorker(cfg WorkerConfig, prog Program) (res WorkerResult, err error) {
+// incarnation. Cancelling ctx aborts the incarnation and returns an error
+// wrapping ctx.Err().
+func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerResult, err error) {
 	res.RecoveredEpoch = -1
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Rank < 0 || cfg.Rank >= cfg.Ranks || cfg.Ranks <= 0 {
 		return res, fmt.Errorf("engine: worker rank %d out of range [0,%d)", cfg.Rank, cfg.Ranks)
 	}
@@ -134,18 +139,27 @@ func RunWorker(cfg WorkerConfig, prog Program) (res WorkerResult, err error) {
 		}
 	}
 	world := mpi.NewWorld(cfg.Ranks, opts)
+	stopCancel := context.AfterFunc(ctx, world.Cancel)
+	defer stopCancel()
 	if err := cfg.Start(); err != nil {
 		return res, fmt.Errorf("engine: start transport: %w", err)
 	}
 
 	// A stop failure is delivered by panic (ErrKilled for this rank's own
 	// simulated death, ErrWorldDead when a peer's death shut the world
-	// down); both mean the incarnation is over.
+	// down); both mean the incarnation is over. ErrCanceled means the
+	// caller's context ended the run — not a failure, so no re-spawn.
 	defer func() {
 		if p := recover(); p != nil {
 			switch p {
 			case mpi.ErrKilled, mpi.ErrWorldDead:
 				err = ErrIncarnationDead
+			case mpi.ErrCanceled:
+				cause := ctx.Err()
+				if cause == nil {
+					cause = mpi.ErrCanceled
+				}
+				err = fmt.Errorf("engine: worker rank %d canceled: %w", cfg.Rank, cause)
 			default:
 				err = fmt.Errorf("engine: worker rank %d panicked: %v", cfg.Rank, p)
 			}
@@ -159,6 +173,7 @@ func RunWorker(cfg WorkerConfig, prog Program) (res WorkerResult, err error) {
 		Interval: cfg.Interval,
 		Debug:    cfg.Debug,
 		Tracer:   cfg.Tracer,
+		Ctx:      ctx,
 	})
 	rank := newRank(layer, cfg.Seed, cfg.Incarnation)
 	if restore {

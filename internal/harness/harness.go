@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -72,7 +73,11 @@ type Table struct {
 }
 
 // Run executes the experiment.
-func (e Experiment) Run() (*Table, error) {
+func (e Experiment) Run() (*Table, error) { return e.RunContext(context.Background()) }
+
+// RunContext executes the experiment under a context: cancellation aborts
+// the in-flight engine run and returns its error.
+func (e Experiment) RunContext(ctx context.Context) (*Table, error) {
 	t := &Table{Experiment: e}
 	repeats := e.Repeats
 	if repeats == 0 {
@@ -83,7 +88,7 @@ func (e Experiment) Run() (*Table, error) {
 		for _, mode := range Modes {
 			best := Cell{Mode: mode, Seconds: -1}
 			for rep := 0; rep < repeats; rep++ {
-				cell, err := e.runOnce(size, mode)
+				cell, err := e.runOnce(ctx, size, mode)
 				if err != nil {
 					return nil, fmt.Errorf("%s %s %v: %w", e.App, size.Label, mode, err)
 				}
@@ -99,7 +104,7 @@ func (e Experiment) Run() (*Table, error) {
 	return t, nil
 }
 
-func (e Experiment) runOnce(size Size, mode protocol.Mode) (Cell, error) {
+func (e Experiment) runOnce(ctx context.Context, size Size, mode protocol.Mode) (Cell, error) {
 	var store storage.Stable = storage.NewMemory()
 	if e.BandwidthMBps > 0 {
 		store = storage.NewThrottled(store, e.BandwidthMBps*1e6)
@@ -112,7 +117,7 @@ func (e Experiment) runOnce(size Size, mode protocol.Mode) (Cell, error) {
 		Interval: size.Interval,
 	}
 	start := time.Now()
-	res, err := engine.Run(cfg, size.Program)
+	res, err := engine.RunContext(ctx, cfg, size.Program)
 	if err != nil {
 		return Cell{}, err
 	}

@@ -10,6 +10,7 @@ package launch
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -120,34 +121,6 @@ type Result struct {
 	Incarnations []IncarnationReport
 }
 
-// Summary renders the run epilogue both driver CLIs print: elapsed time,
-// restart count, per-restart recovery provenance, and rank 0's output.
-func (r *Result) Summary(elapsed time.Duration) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "completed in %.2fs with %d restart(s)\n", elapsed.Seconds(), r.Restarts)
-	for i, e := range r.RecoveredEpochs {
-		if e < 0 {
-			fmt.Fprintf(&b, "  restart %d: no committed checkpoint yet — restarted from the beginning\n", i+1)
-		} else {
-			fmt.Fprintf(&b, "  restart %d: recovered from global checkpoint %d\n", i+1, e)
-		}
-	}
-	b.WriteString(r.Output)
-	return b.String()
-}
-
-// HumanBytes renders a byte count for the drivers' headers.
-func HumanBytes(n int64) string {
-	switch {
-	case n >= 1<<20:
-		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
-	default:
-		return fmt.Sprintf("%dB", n)
-	}
-}
-
 // ErrTooManyRestarts is returned when the failure schedule exhausts
 // MaxRestarts.
 var ErrTooManyRestarts = errors.New("launch: too many restarts")
@@ -163,6 +136,16 @@ type workerExit struct {
 // Run launches cfg.Ranks worker processes and supervises them until the
 // job completes, re-spawning the whole incarnation whenever a process dies.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: when ctx is canceled or its deadline
+// expires, every live worker process is SIGKILLed, no further incarnation
+// is spawned, and the run returns an error wrapping ctx's error.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("launch: Ranks must be positive, got %d", cfg.Ranks)
 	}
@@ -211,10 +194,17 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{}
 	for incarnation := 0; ; incarnation++ {
+		if cause := ctx.Err(); cause != nil {
+			when := "before it started"
+			if incarnation > 0 {
+				when = "during rollback"
+			}
+			return nil, fmt.Errorf("launch: run canceled %s: %w", when, cause)
+		}
 		if incarnation > cfg.MaxRestarts {
 			return nil, fmt.Errorf("%w (%d)", ErrTooManyRestarts, cfg.MaxRestarts)
 		}
-		report, out, err := runIncarnation(cfg, incarnation)
+		report, out, err := runIncarnation(ctx, cfg, incarnation)
 		if report != nil {
 			res.Incarnations = append(res.Incarnations, *report)
 		}
@@ -255,7 +245,7 @@ func committedEpoch(storeDir string) int {
 // of them to exit. It returns an error only for non-recoverable outcomes
 // (spawn failure, a worker reporting a program error); a died incarnation
 // is a nil error with report.failed() true.
-func runIncarnation(cfg Config, incarnation int) (*IncarnationReport, string, error) {
+func runIncarnation(ctx context.Context, cfg Config, incarnation int) (*IncarnationReport, string, error) {
 	rdv := filepath.Join(cfg.WorkDir, "rdv", strconv.Itoa(incarnation))
 	if err := os.MkdirAll(rdv, 0o755); err != nil {
 		return nil, "", fmt.Errorf("launch: rendezvous dir: %w", err)
@@ -330,6 +320,22 @@ func runIncarnation(cfg Config, incarnation int) (*IncarnationReport, string, er
 		}(r, cmd)
 	}
 
+	killLive := func() {
+		liveMu.Lock()
+		defer liveMu.Unlock()
+		for r, c := range cmds {
+			if live[r] {
+				c.Process.Kill()
+			}
+		}
+	}
+
+	// Cancellation: the moment ctx is done, SIGKILL every live worker so
+	// the incarnation collapses immediately; the exit collection below then
+	// reports the context error instead of scheduling a re-spawn.
+	stopCancel := context.AfterFunc(ctx, killLive)
+	defer stopCancel()
+
 	// Grace reaper: once any worker exits abnormally, the survivors should
 	// notice the death themselves (connection reset, then detector timeout)
 	// and exit with the rollback code; if one wedges past the grace period,
@@ -339,15 +345,7 @@ func runIncarnation(cfg Config, incarnation int) (*IncarnationReport, string, er
 	reapTimer := (*time.Timer)(nil)
 	armReaper := func() {
 		reapOnce.Do(func() {
-			reapTimer = time.AfterFunc(grace, func() {
-				liveMu.Lock()
-				defer liveMu.Unlock()
-				for r, c := range cmds {
-					if live[r] {
-						c.Process.Kill()
-					}
-				}
-			})
+			reapTimer = time.AfterFunc(grace, killLive)
 		})
 	}
 
@@ -374,6 +372,9 @@ func runIncarnation(cfg Config, incarnation int) (*IncarnationReport, string, er
 	wg.Wait()
 	if reapTimer != nil {
 		reapTimer.Stop()
+	}
+	if cause := ctx.Err(); cause != nil {
+		return report, "", fmt.Errorf("launch: run canceled: %w", cause)
 	}
 	if hardErr {
 		return report, "", fmt.Errorf("launch: incarnation %d failed hard: %s", incarnation, strings.Join(report.Exits, ", "))
@@ -432,6 +433,9 @@ type WorkerApp struct {
 	Interval time.Duration
 	Seed     int64
 	Debug    bool
+	// Mode selects the protocol version; the zero value selects Full, the
+	// only mode that can recover, which is what a distributed run is for.
+	Mode protocol.Mode
 }
 
 // WorkerMain runs the worker role to completion and exits the process with
@@ -494,10 +498,14 @@ func workerRun(app WorkerApp) (int, error) {
 	}
 	defer tr.Close()
 
-	res, err := engine.RunWorker(engine.WorkerConfig{
+	mode := app.Mode
+	if mode == protocol.Unmodified {
+		mode = protocol.Full
+	}
+	res, err := engine.RunWorker(context.Background(), engine.WorkerConfig{
 		Rank: rank, Ranks: ranks,
 		Incarnation: incarnation,
-		Mode:        protocol.Full,
+		Mode:        mode,
 		Store:       store,
 		EveryN:      app.EveryN,
 		Interval:    app.Interval,

@@ -410,9 +410,7 @@ func (b *mailbox) await(specs []RecvSpec) (int, *Message) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		if b.world.dead.Load() {
-			panic(ErrWorldDead)
-		}
+		b.world.raiseIfHalted()
 		if si, m := b.tryMatch(specs); m != nil {
 			return si, m
 		}
@@ -426,9 +424,7 @@ func (b *mailbox) awaitCond(specs []RecvSpec, stop func() bool) (int, *Message) 
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		if b.world.dead.Load() {
-			panic(ErrWorldDead)
-		}
+		b.world.raiseIfHalted()
 		if si, m := b.tryMatch(specs); m != nil {
 			return si, m
 		}
@@ -443,9 +439,7 @@ func (b *mailbox) awaitCond(specs []RecvSpec, stop func() bool) (int, *Message) 
 func (b *mailbox) poll(specs []RecvSpec) (int, *Message) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.world.dead.Load() {
-		panic(ErrWorldDead)
-	}
+	b.world.raiseIfHalted()
 	return b.tryMatch(specs)
 }
 
@@ -453,9 +447,7 @@ func (b *mailbox) poll(specs []RecvSpec) (int, *Message) {
 func (b *mailbox) probe(spec RecvSpec) (bool, *Message) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.world.dead.Load() {
-		panic(ErrWorldDead)
-	}
+	b.world.raiseIfHalted()
 	if spec.Tag == AnyTag || b.count <= scanThreshold {
 		for q := b.head; q != nil; q = q.next {
 			if spec.Matches(q.m) {

@@ -37,6 +37,11 @@ var (
 	// failure detector has declared the computation dead and a rollback is
 	// in progress.
 	ErrWorldDead = errors.New("mpi: world shut down")
+	// ErrCanceled is the panic value raised in every rank once the run's
+	// context is canceled (World.Cancel): unlike ErrWorldDead it means the
+	// caller asked the whole computation to stop, so the supervisor aborts
+	// instead of rolling back.
+	ErrCanceled = errors.New("mpi: run canceled")
 )
 
 // Options configure a World.
@@ -72,9 +77,10 @@ type World struct {
 	boxes []*mailbox // in-process transport's mailboxes (tests/diagnostics); nil for custom transports
 	opts  Options
 
-	dead    atomic.Bool
-	killed  []atomic.Bool
-	opCount []atomic.Int64
+	dead     atomic.Bool
+	canceled atomic.Bool
+	killed   []atomic.Bool
+	opCount  []atomic.Int64
 
 	failMu   sync.Mutex
 	failures []int // ranks that stop-failed, in detection order
@@ -144,6 +150,29 @@ func (w *World) Shutdown() {
 	w.tr.Interrupt()
 }
 
+// Cancel aborts the incarnation on behalf of the caller's context: all
+// blocked and future substrate operations on every rank panic with
+// ErrCanceled. Unlike Shutdown this is not a failure — the supervisor maps
+// it to the context's error instead of scheduling a rollback.
+func (w *World) Cancel() {
+	w.canceled.Store(true)
+	w.tr.Interrupt()
+}
+
+// Canceled reports whether Cancel has been called.
+func (w *World) Canceled() bool { return w.canceled.Load() }
+
+// raiseIfHalted panics with the halt sentinel when the world has been
+// canceled or shut down; blocking paths call it whenever they wake.
+func (w *World) raiseIfHalted() {
+	if w.canceled.Load() {
+		panic(ErrCanceled)
+	}
+	if w.dead.Load() {
+		panic(ErrWorldDead)
+	}
+}
+
 // Interrupt wakes every blocked receiver without changing any state, so
 // conditions passed to Comm.SelectWait are re-evaluated. The engine uses
 // this as its completion signal to finished ranks parked in event-driven
@@ -169,9 +198,7 @@ func (w *World) OpCount(rank int) int64 { return w.opCount[rank].Load() }
 // enter is called at the top of every substrate operation executed by rank.
 // It advances the rank's operation counter and raises injected failures.
 func (w *World) enter(rank int) {
-	if w.dead.Load() {
-		panic(ErrWorldDead)
-	}
+	w.raiseIfHalted()
 	n := w.opCount[rank].Add(1)
 	if plan, ok := w.opts.KillPlan[rank]; ok && n == plan {
 		if w.opts.OnKill != nil {

@@ -19,7 +19,8 @@ package mpi
 //     earliest in delivery order that satisfies any spec wins, and ties
 //     between specs go to the lowest spec index.
 //   - Blocking calls must panic with ErrWorldDead once the world is shut
-//     down, and re-check their condition whenever Interrupt is called.
+//     down (ErrCanceled once it is canceled), and re-check their condition
+//     whenever Interrupt is called.
 type Transport interface {
 	// Send queues m at dst's mailbox. The transport takes ownership of m.
 	Send(dst int, m *Message)

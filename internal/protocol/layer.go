@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"time"
@@ -62,6 +63,12 @@ var controlSpecs = []mpi.RecvSpec{
 type Config struct {
 	Mode  Mode
 	Store *storage.CheckpointStore
+	// Ctx, when non-nil, is the run's context: once it is done, every
+	// protocol-layer call raises mpi.ErrCanceled so the rank unwinds
+	// promptly even between blocking substrate operations. The engine also
+	// cancels the world itself, which wakes ranks parked inside the
+	// substrate; this check covers the gaps in between.
+	Ctx context.Context
 	// EveryN makes the initiator (rank 0) request a global checkpoint
 	// every N-th PotentialCheckpoint call it executes. Zero disables.
 	EveryN int
@@ -147,6 +154,11 @@ type Layer struct {
 	// Select on the receive hot path.
 	selSpecs []mpi.RecvSpec
 
+	// done is cfg.Ctx's done channel (nil when no context was supplied);
+	// kept unwrapped so the per-op cancellation check is one channel poll,
+	// not a ctx.Err() mutex acquisition.
+	done <-chan struct{}
+
 	// Completion: once the application on this rank has finished, the
 	// layer only services control traffic.
 	finished bool
@@ -186,6 +198,9 @@ func NewLayer(comm *mpi.Comm, cfg Config) *Layer {
 	for i := range l.totalSent {
 		l.totalSent[i] = -1
 	}
+	if cfg.Ctx != nil {
+		l.done = cfg.Ctx.Done()
+	}
 	// Rank 0 carries the replicated-data copies (Section 7's distributed
 	// redundant data optimization) and plays the initiator.
 	l.Saver.VDS.Primary = l.rank == 0
@@ -218,16 +233,30 @@ func (l *Layer) color() bool { return l.epoch%2 == 1 }
 
 func (l *Layer) active() bool { return l.cfg.Mode != Unmodified }
 
-// enterOp runs at the top of every protocol-layer call: it services
-// pending control messages and lets the initiator start a new global
-// checkpoint when its trigger fires.
+// enterOp runs at the top of every protocol-layer call: it observes
+// cancellation, services pending control messages, and lets the initiator
+// start a new global checkpoint when its trigger fires.
 func (l *Layer) enterOp() {
+	l.raiseIfCanceled()
 	if !l.active() {
 		return
 	}
 	l.drainControl()
 	if l.init != nil {
 		l.maybeInitiate(false)
+	}
+}
+
+// raiseIfCanceled panics with mpi.ErrCanceled once the layer's context is
+// done. One non-blocking channel poll: cheap enough for every operation.
+func (l *Layer) raiseIfCanceled() {
+	if l.done == nil {
+		return
+	}
+	select {
+	case <-l.done:
+		panic(mpi.ErrCanceled)
+	default:
 	}
 }
 
@@ -488,6 +517,7 @@ func (l *Layer) ServiceControlUntil(stop func() bool) {
 		return
 	}
 	for {
+		l.raiseIfCanceled()
 		l.drainControl()
 		// Completion is checked between draining and initiating: queued
 		// control traffic is always handled, but the initiator must not

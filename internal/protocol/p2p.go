@@ -12,10 +12,27 @@ import (
 // the piggyback (Figure 4's communicationEventHandler).
 
 // Send delivers data to dst with the given tag through the protocol layer.
+// The payload is copied, so the caller may reuse its buffer.
 func (l *Layer) Send(dst, tag int, data []byte) {
+	l.sendApp(dst, tag, data, false)
+}
+
+// SendOwned is Send for a buffer the caller hands over: no defensive copy
+// is made, so data must not be modified after the call. The typed
+// messaging front end encodes into a fresh buffer and sends it through
+// here, making the encode the payload's only copy.
+func (l *Layer) SendOwned(dst, tag int, data []byte) {
+	l.sendApp(dst, tag, data, true)
+}
+
+func (l *Layer) sendApp(dst, tag int, data []byte, owned bool) {
 	l.enterOp()
 	if !l.active() {
-		l.comm.Send(dst, tag, data)
+		if owned {
+			l.comm.SendShared(dst, tag, data)
+		} else {
+			l.comm.Send(dst, tag, data)
+		}
 		return
 	}
 	if tag < 0 {
@@ -42,7 +59,11 @@ func (l *Layer) Send(dst, tag int, data []byte) {
 	l.trace(TraceSend, dst, tag, id, len(data))
 	// The packed piggyback travels in the wire message's header segment:
 	// attaching it costs no allocation or copy of the payload.
-	l.comm.SendHdr(dst, tag, pb.Pack(), data)
+	if owned {
+		l.comm.SendSharedHdr(dst, tag, pb.Pack(), data)
+	} else {
+		l.comm.SendHdr(dst, tag, pb.Pack(), data)
+	}
 }
 
 // Recv blocks until a message matching (src, tag) is delivered to the

@@ -1,0 +1,143 @@
+package ccift
+
+import (
+	"context"
+	"os"
+	"strings"
+
+	"ccift/internal/engine"
+	"ccift/internal/launch"
+	"ccift/internal/mpi"
+	"ccift/internal/protocol"
+)
+
+// RunError is the structured failure report Launch (and Run) return: which
+// rank ended the run (-1 when not attributable to one rank), in which
+// incarnation, and how many rollback-restarts were consumed. The
+// underlying cause — a program error, context.Canceled,
+// context.DeadlineExceeded, ErrTooManyRestarts — is reachable with
+// errors.Is/As through Unwrap.
+type RunError = engine.RunError
+
+// ErrTooManyRestarts is the cause wrapped by a RunError when the failure
+// schedule exhausts the restart budget.
+var ErrTooManyRestarts = engine.ErrTooManyRestarts
+
+// Tracer receives protocol events from every rank (see internal/trace for
+// a recorder that renders space-time diagrams).
+type Tracer = protocol.Tracer
+
+// TraceEvent is one observable protocol action delivered to a Tracer.
+type TraceEvent = protocol.TraceEvent
+
+// World is one incarnation's substrate world; custom transports installed
+// with WithTransport are handed it at construction.
+type World = mpi.World
+
+// Transport is the wire substrate beneath a World. See the contract on the
+// interface for what an implementation must honor.
+type Transport = mpi.Transport
+
+// Launch executes prog on the substrate the spec selects, under ctx.
+//
+// With a default spec the ranks run as goroutines over the in-process
+// substrate — exactly Run's behaviour, driven by options instead of a
+// Config. With WithDistributed the same program runs as one OS process per
+// rank over a full TCP mesh, checkpoints in a shared on-disk store, and
+// failures delivered as real SIGKILLs; Launch plays the launcher role,
+// re-executing the current binary for each rank.
+//
+// Worker role: in a distributed run each spawned worker re-enters the
+// caller's own code path and reaches this same Launch call; Launch detects
+// the worker environment (IsWorker), runs the single-rank worker role, and
+// exits the process with the launch protocol's exit code — it never
+// returns in a worker. Keep launcher-only side effects (printing, file
+// writes) after the Launch call or guarded by IsWorker.
+//
+// Cancelling ctx (or its deadline expiring) aborts the run on either
+// substrate: in-process ranks unwind at their next substrate operation,
+// distributed workers are SIGKILLed; either way Launch returns a *RunError
+// wrapping ctx's error. With no failures injected and no cancellation,
+// Launch returns once every rank's program has completed, rolling back and
+// restarting from the last committed global checkpoint as ranks die.
+//
+// Result shape: on the in-process substrate, Result.Values holds every
+// rank's program return value and Result.Stats every rank's protocol
+// counters. On the distributed substrate only rank 0's result crosses the
+// process boundary, as a string (fmt's rendering of the return value), so
+// Values is that single string and Stats is empty — return a
+// fmt.Sprint-stable value (e.g. a formatted string) from programs that run
+// on both substrates.
+func Launch(ctx context.Context, spec *Spec, prog Program) (*Result, error) {
+	if spec == nil {
+		spec = NewSpec()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.distributed != nil {
+		return launchDistributed(ctx, spec, prog)
+	}
+	return engine.RunContext(ctx, spec.cfg, prog)
+}
+
+// IsWorker reports whether the current process was spawned as the worker
+// of a distributed Launch. Binaries that launch distributed runs may use
+// it to skip launcher-only side effects; calling Launch itself already
+// handles the worker role.
+func IsWorker() bool { return launch.IsWorker() }
+
+func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, error) {
+	cfg, d := spec.cfg, spec.distributed
+	if launch.IsWorker() {
+		// This process is one spawned rank: run the worker role with the
+		// same spec the launcher-side call site built, and never return.
+		launch.WorkerMain(launch.WorkerApp{
+			Prog:     prog,
+			EveryN:   cfg.EveryN,
+			Interval: cfg.Interval,
+			Seed:     cfg.Seed,
+			Debug:    cfg.Debug,
+			Mode:     cfg.Mode,
+		})
+	}
+	kills := make([]launch.KillSpec, len(cfg.Failures))
+	for i, f := range cfg.Failures {
+		kills[i] = launch.KillSpec{Rank: f.Rank, AtOp: f.AtOp, Incarnation: f.Incarnation}
+	}
+	args := d.Args
+	if args == nil {
+		args = os.Args[1:]
+	}
+	lres, err := launch.RunContext(ctx, launch.Config{
+		Exe:             d.Exe,
+		Args:            args,
+		Ranks:           cfg.Ranks,
+		StoreDir:        d.StoreDir,
+		WorkDir:         d.WorkDir,
+		Kills:           kills,
+		MaxRestarts:     cfg.MaxRestarts,
+		DetectorTimeout: d.DetectorTimeout,
+		Stderr:          d.Stderr,
+		Verbose:         d.Verbose,
+	})
+	if err != nil {
+		// The launcher does not attribute failures to a rank or incarnation;
+		// -1 marks both unknown.
+		return nil, &RunError{Rank: -1, Incarnation: -1, Err: err}
+	}
+	// Only rank 0's rendered result crosses the process boundary: Values
+	// holds that one string (fmt's rendering of the program's return value,
+	// which the worker prints as "result: <value>").
+	res := &Result{Restarts: lres.Restarts, RecoveredEpochs: lres.RecoveredEpochs}
+	for _, line := range strings.Split(lres.Output, "\n") {
+		if v, ok := strings.CutPrefix(line, "result: "); ok {
+			res.Values = append(res.Values, v)
+			break
+		}
+	}
+	return res, nil
+}

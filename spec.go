@@ -1,0 +1,154 @@
+package ccift
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ccift/internal/engine"
+	"ccift/internal/protocol"
+)
+
+// Spec describes a run for Launch. Build one with NewSpec and functional
+// options; the zero-option spec is a single in-process rank with the
+// protocol disabled. The same Spec runs unchanged on either substrate —
+// WithDistributed is the only thing that moves a program from goroutines
+// to one OS process per rank.
+type Spec struct {
+	cfg         engine.Config
+	distributed *Distributed
+}
+
+// Option mutates a Spec under construction.
+type Option func(*Spec)
+
+// NewSpec builds a Spec from options. Validation happens in Launch (and in
+// Validate), not here, so options can be applied in any order.
+func NewSpec(opts ...Option) *Spec {
+	s := &Spec{cfg: engine.Config{Ranks: 1}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// WithRanks sets the number of ranks (processes of the computation).
+func WithRanks(n int) Option { return func(s *Spec) { s.cfg.Ranks = n } }
+
+// WithMode selects the Figure-8 program version; default Unmodified.
+func WithMode(m Mode) Option { return func(s *Spec) { s.cfg.Mode = m } }
+
+// WithStore sets the stable storage checkpoints are written to (in-process
+// substrate only; distributed runs share a directory via Distributed
+// .StoreDir). Default: a fresh in-memory store.
+func WithStore(st Stable) Option { return func(s *Spec) { s.cfg.Store = st } }
+
+// WithEveryN makes the initiator request a global checkpoint every N-th
+// PotentialCheckpoint call it executes. Mutually exclusive with
+// WithInterval.
+func WithEveryN(n int) Option { return func(s *Spec) { s.cfg.EveryN = n } }
+
+// WithInterval makes the initiator request a global checkpoint on a wall
+// clock (the paper used 30 s). Mutually exclusive with WithEveryN.
+func WithInterval(d time.Duration) Option { return func(s *Spec) { s.cfg.Interval = d } }
+
+// WithFailures schedules stopping failures. On the in-process substrate a
+// failure is a simulated stop; on the distributed substrate it is a real
+// self-SIGKILL of the rank's OS process.
+func WithFailures(fs ...Failure) Option {
+	return func(s *Spec) { s.cfg.Failures = append(s.cfg.Failures, fs...) }
+}
+
+// WithMaxRestarts bounds rollback attempts; default 10.
+func WithMaxRestarts(n int) Option { return func(s *Spec) { s.cfg.MaxRestarts = n } }
+
+// WithSeed sets the base seed for per-rank application randomness.
+func WithSeed(seed int64) Option { return func(s *Spec) { s.cfg.Seed = seed } }
+
+// WithDebug enables protocol assertions.
+func WithDebug() Option { return func(s *Spec) { s.cfg.Debug = true } }
+
+// WithTracer streams protocol events from every rank (in-process substrate
+// only; the recorder lives in this process).
+func WithTracer(t Tracer) Option { return func(s *Spec) { s.cfg.Tracer = t } }
+
+// WithChaos enables adversarial reordering of application messages; all
+// additionally reorders reserved control tags.
+func WithChaos(seed int64, all bool) Option {
+	return func(s *Spec) { s.cfg.ChaosSeed, s.cfg.ChaosAll = seed, all }
+}
+
+// WithDetectorTimeout routes in-process failure detection through the
+// heartbeat detector with the given suspicion timeout instead of the
+// default instantaneous self-report.
+func WithDetectorTimeout(d time.Duration) Option {
+	return func(s *Spec) { s.cfg.DetectorTimeout = d }
+}
+
+// WithTransport installs a custom wire substrate beneath the in-process
+// world: f is invoked with the freshly built world of each incarnation and
+// must return the Transport it runs on. Latency models and cross-process
+// shims plug in here without the engine or protocol layers changing.
+func WithTransport(f func(w *World) Transport) Option {
+	return func(s *Spec) { s.cfg.NewTransport = f }
+}
+
+// Distributed configures the TCP/process substrate: one OS process per
+// rank, wire messages over a full TCP mesh, checkpoints in a shared
+// on-disk store, failures as real SIGKILLs.
+type Distributed struct {
+	// StoreDir is the shared checkpoint directory; default a fresh scratch
+	// directory under WorkDir (removed on success). WorkDir is the scratch
+	// root for rendezvous files; default a fresh temp directory.
+	StoreDir string
+	WorkDir  string
+	// Exe is the worker binary; default the current executable (the caller
+	// re-execs itself, with Launch detecting the worker role — see Launch).
+	// Args are the arguments the worker is started with; nil means the
+	// current process's arguments, so the worker re-parses the same flags.
+	// Use Args: []string{} for no arguments.
+	Exe  string
+	Args []string
+	// DetectorTimeout is the workers' heartbeat suspicion timeout; default
+	// 2 s. Stderr receives rank-prefixed worker stderr (default os.Stderr);
+	// Verbose additionally logs spawn/exit events there.
+	DetectorTimeout time.Duration
+	Stderr          io.Writer
+	Verbose         bool
+}
+
+// WithDistributed selects the TCP/process substrate.
+func WithDistributed(d Distributed) Option {
+	return func(s *Spec) { s.distributed = &d }
+}
+
+// Validate reports the first configuration error in the spec. Launch calls
+// it, so explicit use is only needed to check a spec without running it.
+func (s *Spec) Validate() error {
+	if err := s.cfg.Validate(); err != nil {
+		return err
+	}
+	if d := s.distributed; d != nil {
+		if s.cfg.Store != nil {
+			return fmt.Errorf("ccift: WithStore supplies an in-process store, which no worker process can reach; " +
+				"distributed runs share checkpoints through Distributed.StoreDir")
+		}
+		if s.cfg.Mode != protocol.Full {
+			return fmt.Errorf("ccift: distributed runs recover from shared checkpoints and require Full mode, got %v "+
+				"(the in-process substrate runs any mode)", s.cfg.Mode)
+		}
+		if s.cfg.Tracer != nil {
+			return fmt.Errorf("ccift: WithTracer is in-process only: the recorder cannot observe worker processes")
+		}
+		if s.cfg.NewTransport != nil {
+			return fmt.Errorf("ccift: WithTransport and WithDistributed are mutually exclusive: the distributed substrate brings its own TCP transport")
+		}
+		if s.cfg.ChaosSeed != 0 {
+			return fmt.Errorf("ccift: WithChaos is in-process only: a real network's interleaving cannot be seeded")
+		}
+		if s.cfg.DetectorTimeout != 0 {
+			return fmt.Errorf("ccift: WithDetectorTimeout is in-process only; set Distributed.DetectorTimeout for worker heartbeats")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package ccift_test
+
+// Table-driven validation of the v1 spec (and, through the shim, the v0
+// Config): misconfigurations that used to panic or hang deep inside a run
+// must surface as descriptive errors at the API boundary.
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ccift"
+)
+
+func TestSpecValidation(t *testing.T) {
+	dist := ccift.Distributed{}
+	cases := []struct {
+		name string
+		opts []ccift.Option
+		want string // substring of the error; "" means the spec is valid
+	}{
+		{"defaults", nil, ""},
+		{"valid-full", []ccift.Option{ccift.WithRanks(4), ccift.WithMode(ccift.Full), ccift.WithEveryN(5)}, ""},
+		{"valid-interval", []ccift.Option{ccift.WithRanks(2), ccift.WithInterval(time.Second)}, ""},
+		{"valid-distributed", []ccift.Option{ccift.WithRanks(2), ccift.WithMode(ccift.Full), ccift.WithDistributed(dist)}, ""},
+
+		{"zero-ranks", []ccift.Option{ccift.WithRanks(0)}, "Ranks must be positive"},
+		{"negative-ranks", []ccift.Option{ccift.WithRanks(-3)}, "Ranks must be positive"},
+		{"negative-max-restarts", []ccift.Option{ccift.WithRanks(2), ccift.WithMaxRestarts(-1)}, "MaxRestarts"},
+		{"negative-everyn", []ccift.Option{ccift.WithRanks(2), ccift.WithEveryN(-1)}, "EveryN"},
+		{"negative-interval", []ccift.Option{ccift.WithRanks(2), ccift.WithInterval(-time.Second)}, "Interval"},
+		{"conflicting-triggers", []ccift.Option{ccift.WithRanks(2), ccift.WithEveryN(5), ccift.WithInterval(time.Second)},
+			"mutually exclusive"},
+		{"failure-rank-out-of-range", []ccift.Option{ccift.WithRanks(2),
+			ccift.WithFailures(ccift.Failure{Rank: 2, AtOp: 10})}, "out of range"},
+		{"failure-negative-rank", []ccift.Option{ccift.WithRanks(2),
+			ccift.WithFailures(ccift.Failure{Rank: -1, AtOp: 10})}, "out of range"},
+		{"failure-zero-op", []ccift.Option{ccift.WithRanks(2),
+			ccift.WithFailures(ccift.Failure{Rank: 0, AtOp: 0})}, "AtOp must be positive"},
+		{"failure-negative-incarnation", []ccift.Option{ccift.WithRanks(2),
+			ccift.WithFailures(ccift.Failure{Rank: 0, AtOp: 5, Incarnation: -1})}, "Incarnation"},
+
+		{"distributed-with-inprocess-store", []ccift.Option{ccift.WithRanks(2), ccift.WithMode(ccift.Full),
+			ccift.WithStore(ccift.NewMemoryStore()), ccift.WithDistributed(dist)}, "StoreDir"},
+		{"distributed-without-full", []ccift.Option{ccift.WithRanks(2), ccift.WithMode(ccift.NoAppState),
+			ccift.WithDistributed(dist)}, "require Full mode"},
+		{"distributed-with-tracer", []ccift.Option{ccift.WithRanks(2), ccift.WithMode(ccift.Full),
+			ccift.WithTracer(nopTracer{}), ccift.WithDistributed(dist)}, "in-process only"},
+		{"distributed-with-chaos", []ccift.Option{ccift.WithRanks(2), ccift.WithMode(ccift.Full),
+			ccift.WithChaos(7, false), ccift.WithDistributed(dist)}, "in-process only"},
+		{"distributed-with-transport", []ccift.Option{ccift.WithRanks(2), ccift.WithMode(ccift.Full),
+			ccift.WithTransport(func(w *ccift.World) ccift.Transport { return nil }), ccift.WithDistributed(dist)},
+			"mutually exclusive"},
+		{"distributed-with-detector-timeout", []ccift.Option{ccift.WithRanks(2), ccift.WithMode(ccift.Full),
+			ccift.WithDetectorTimeout(time.Second), ccift.WithDistributed(dist)}, "Distributed.DetectorTimeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ccift.NewSpec(tc.opts...).Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want an error mentioning %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %q, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLaunchValidatesBeforeRunning pins that Launch rejects a bad spec
+// without starting any rank.
+func TestLaunchValidatesBeforeRunning(t *testing.T) {
+	ran := false
+	_, err := ccift.Launch(context.Background(), ccift.NewSpec(ccift.WithRanks(-1)),
+		func(r *ccift.Rank) (any, error) { ran = true; return nil, nil })
+	if err == nil || !strings.Contains(err.Error(), "Ranks must be positive") {
+		t.Fatalf("err = %v, want a Ranks validation error", err)
+	}
+	if ran {
+		t.Fatal("program ran under an invalid spec")
+	}
+}
+
+// TestRunShimValidates pins that the v0 shim inherits the same boundary
+// validation instead of the old deep-in-the-engine panic.
+func TestRunShimValidates(t *testing.T) {
+	_, err := ccift.Run(ccift.Config{Ranks: 2, EveryN: 3, Interval: time.Second},
+		func(r *ccift.Rank) (any, error) { return nil, nil })
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want the conflicting-trigger error", err)
+	}
+}
+
+// nopTracer is the least tracer that satisfies the interface.
+type nopTracer struct{}
+
+func (nopTracer) Trace(ccift.TraceEvent) {}
