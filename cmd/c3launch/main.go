@@ -43,6 +43,7 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 10, "bound on incarnation re-spawns")
 	timeout := flag.Duration("timeout", 0, "cancel the job after this long (0: no deadline)")
 	verbose := flag.Bool("v", false, "log spawn/exit events")
+	syncCkpt := flag.Bool("sync", false, "blocking checkpoint writes (the Figure 8 baseline) instead of the async pipeline")
 	var kills apps.KillFlag
 	flag.Var(&kills, "kill", "rank@op real-SIGKILL failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		ccift.WithFailures(kills...),
 		ccift.WithSeed(*seed),
 		ccift.WithMaxRestarts(*maxRestarts),
+		ccift.WithAsyncCheckpoint(!*syncCkpt),
 		ccift.WithDistributed(ccift.Distributed{
 			StoreDir:        *storeDir,
 			DetectorTimeout: *detector,

@@ -42,6 +42,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0: no deadline)")
 	traceOut := flag.Bool("trace", false, "print a space-time diagram of protocol events")
 	distributed := flag.Bool("distributed", false, "run each rank as its own OS process over TCP (kills become real SIGKILLs)")
+	syncCkpt := flag.Bool("sync", false, "blocking checkpoint writes (the Figure 8 baseline) instead of the async pipeline")
 	var kills apps.KillFlag
 	flag.Var(&kills, "kill", "rank@op stopping failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 		ccift.WithRanks(*ranks),
 		ccift.WithMode(ccift.Full),
 		ccift.WithFailures(kills...),
+		ccift.WithAsyncCheckpoint(!*syncCkpt),
 	}
 	if intv > 0 {
 		opts = append(opts, ccift.WithInterval(intv))

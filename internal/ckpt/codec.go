@@ -322,8 +322,19 @@ func readBytes(rd *bytes.Reader) ([]byte, error) {
 const floatChunk = 1024
 
 func writeFloat64s(buf *bytes.Buffer, xs []float64) {
-	writeUvarint(buf, uint64(len(xs)))
 	buf.Grow(8 * len(xs))
+	writeFloat64sTo(buf, xs) // a bytes.Buffer never returns a write error
+}
+
+// writeFloat64sTo is the io.Writer form of writeFloat64s; the checkpoint
+// flusher streams grids through it straight into the chunked store writer,
+// with no intermediate whole-state buffer.
+func writeFloat64sTo(w io.Writer, xs []float64) error {
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(len(xs)))
+	if _, err := w.Write(lenb[:n]); err != nil {
+		return err
+	}
 	var chunk [8 * floatChunk]byte
 	for off := 0; off < len(xs); {
 		n := len(xs) - off
@@ -333,9 +344,12 @@ func writeFloat64s(buf *bytes.Buffer, xs []float64) {
 		for i := 0; i < n; i++ {
 			binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(xs[off+i]))
 		}
-		buf.Write(chunk[:8*n])
+		if _, err := w.Write(chunk[:8*n]); err != nil {
+			return err
+		}
 		off += n
 	}
+	return nil
 }
 
 func readFloat64sInto(rd *bytes.Reader, dst []float64) ([]float64, error) {

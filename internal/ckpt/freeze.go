@@ -1,0 +1,512 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Checkpoint freezing: the blocking half of the asynchronous checkpoint
+// pipeline. Saver.Freeze copies the live application state (PS trace, VDS
+// values, heap blocks) into an immutable Frozen view — raw memcopies, no
+// encoding — so the rank is stopped only for the duration of the copy.
+// Serialization (Frozen.WriteTo / Frozen.Snapshot) then runs against the
+// frozen view, typically on a background flusher goroutine, while the rank
+// computes on. The serialized byte stream is identical to Saver.Snapshot's,
+// so restore is oblivious to which path produced a checkpoint.
+
+// SectionWriter is the sink Frozen.WriteTo streams into. Cut marks a
+// dedup-friendly boundary: a chunked writer closes its current chunk there,
+// so an unchanged variable re-serialized in a later epoch hashes to the
+// same chunks regardless of what changed before it in the stream.
+type SectionWriter interface {
+	io.Writer
+	Cut() error
+}
+
+// nopSection adapts a plain buffer (Cut is meaningless without chunking).
+type nopSection struct{ *bytes.Buffer }
+
+func (nopSection) Cut() error { return nil }
+
+// cutoverBytes is the value size above which WriteTo isolates an entry or
+// heap block between Cuts, giving it its own chunk run in chunked storage.
+const cutoverBytes = 4096
+
+// fingerprintSize is the encoded size of a computed entry's record (16
+// bytes of FNV-128a; see fingerprint in exclude.go).
+const fingerprintSize = 16
+
+// bufPool recycles the large slabs ([]float64 grids, []byte heap blocks)
+// of released Frozen views. The protocol admits one outstanding checkpoint
+// at a time, so in steady state every epoch's Freeze reuses the previous
+// epoch's warm, already-faulted pages — the epoch-buffered flavor of
+// copy-on-write — and the blocking phase shrinks to a plain memcpy. The
+// mutex makes get (rank goroutine, during Freeze) safe against put
+// (flusher goroutine, after the durable write).
+type bufPool struct {
+	mu  sync.Mutex
+	f64 [][]float64
+	byt [][]byte
+}
+
+// poolKeep bounds retained slabs per type; beyond it a released buffer is
+// simply dropped for the GC.
+const poolKeep = 16
+
+func (p *bufPool) getF64(n int) []float64 {
+	p.mu.Lock()
+	for i, b := range p.f64 {
+		if cap(b) >= n {
+			p.f64[i] = p.f64[len(p.f64)-1]
+			p.f64 = p.f64[:len(p.f64)-1]
+			p.mu.Unlock()
+			return b[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]float64, n)
+}
+
+func (p *bufPool) putF64(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.f64) < poolKeep {
+		p.f64 = append(p.f64, b)
+	}
+	p.mu.Unlock()
+}
+
+func (p *bufPool) getBytes(n int) []byte {
+	p.mu.Lock()
+	for i, b := range p.byt {
+		if cap(b) >= n {
+			p.byt[i] = p.byt[len(p.byt)-1]
+			p.byt = p.byt[:len(p.byt)-1]
+			p.mu.Unlock()
+			return b[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]byte, n)
+}
+
+func (p *bufPool) putBytes(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.byt) < poolKeep {
+		p.byt = append(p.byt, b)
+	}
+	p.mu.Unlock()
+}
+
+// Frozen is an immutable snapshot of a Saver's state, produced by Freeze.
+// It owns every byte it references: mutating the live application after
+// Freeze does not affect it.
+type Frozen struct {
+	trace []int
+	vds   []frozenEntry
+	heap  frozenHeap
+
+	pool     *bufPool // origin Saver's slab pool; nil for pool-less freezes
+	released bool
+}
+
+type frozenEntry struct {
+	name string
+	kind entryKind
+	// Exactly one of enc/ptr holds the value: enc is a pre-encoded record
+	// (gob fallback, computed fingerprint), ptr an owned deep copy of a
+	// fast-path value, encoded lazily at write time. Both nil is the
+	// zero-length replicated marker of a non-primary rank.
+	enc  []byte
+	ptr  any
+	size int // encoded value size (the writeBytes payload length)
+}
+
+type frozenHeap struct {
+	next   int
+	blocks []frozenBlock // sorted by id
+}
+
+type frozenBlock struct {
+	id   int
+	data []byte
+}
+
+// Freeze captures an immutable snapshot of the Saver's current state. The
+// cost is one copy of the live bytes (plus immediate encoding for values
+// outside the codec's fast paths and fingerprinting for computed entries);
+// no serialization or storage I/O happens here.
+func (s *Saver) Freeze() (*Frozen, error) {
+	vds, err := s.VDS.freeze(&s.pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Frozen{trace: s.PS.Snapshot(), vds: vds, heap: s.Heap.freeze(&s.pool), pool: &s.pool}, nil
+}
+
+// Release returns the frozen view's large slabs to the originating Saver's
+// pool, so the next epoch's Freeze reuses them. Callers invoke it once the
+// serialized bytes are durable (or the flush has been abandoned); the
+// Frozen must not be read afterwards. Safe on nil and idempotent.
+func (f *Frozen) Release() {
+	if f == nil || f.pool == nil || f.released {
+		return
+	}
+	f.released = true
+	for i := range f.vds {
+		switch p := f.vds[i].ptr.(type) {
+		case *[]float64:
+			f.pool.putF64(*p)
+		case *[]byte:
+			f.pool.putBytes(*p)
+		}
+		f.vds[i].ptr, f.vds[i].enc = nil, nil
+	}
+	for i := range f.heap.blocks {
+		f.pool.putBytes(f.heap.blocks[i].data)
+		f.heap.blocks[i].data = nil
+	}
+}
+
+func (v *VDS) freeze(pool *bufPool) ([]frozenEntry, error) {
+	out := make([]frozenEntry, 0, len(v.entries))
+	for _, e := range v.entries {
+		fe := frozenEntry{name: e.name, kind: e.kind}
+		switch e.kind {
+		case kindSaved:
+			if err := fe.captureValue(e.ptr, e.name, pool); err != nil {
+				return nil, err
+			}
+		case kindComputed:
+			sum, err := fingerprint(e.ptr)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: fingerprint %q: %w", e.name, err)
+			}
+			fe.enc, fe.size = sum, len(sum)
+		case kindReplicated:
+			if v.Primary {
+				if err := fe.captureValue(e.ptr, e.name, pool); err != nil {
+					return nil, err
+				}
+			}
+			// Non-primary: the zero-length marker (enc and ptr both nil).
+		default:
+			return nil, fmt.Errorf("ckpt: entry %q has invalid kind %d", e.name, e.kind)
+		}
+		out = append(out, fe)
+	}
+	return out, nil
+}
+
+func (fe *frozenEntry) captureValue(ptr any, name string, pool *bufPool) error {
+	if owned, size, ok := copyValue(ptr, pool); ok {
+		fe.ptr, fe.size = owned, size
+		return nil
+	}
+	raw, err := Encode(ptr)
+	if err != nil {
+		return fmt.Errorf("ckpt: encode %q: %w", name, err)
+	}
+	fe.enc, fe.size = raw, len(raw)
+	return nil
+}
+
+func (h *Heap) freeze(pool *bufPool) frozenHeap {
+	blocks := make([]frozenBlock, 0, len(h.blocks))
+	for id, b := range h.blocks {
+		data := pool.getBytes(len(b.Data))
+		copy(data, b.Data)
+		blocks = append(blocks, frozenBlock{id: id, data: data})
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].id < blocks[j].id })
+	return frozenHeap{next: h.nextID, blocks: blocks}
+}
+
+// copyValue returns an owned deep copy of the pointed-to value together
+// with its encoded size, for the codec's fast-path types. ok is false for
+// types that need the gob fallback (those are encoded at freeze time).
+// The large slab types draw their copies from pool; Frozen.Release returns
+// them for the next epoch.
+func copyValue(ptr any, pool *bufPool) (owned any, size int, ok bool) {
+	switch p := ptr.(type) {
+	case *int:
+		v := *p
+		return &v, 9, true
+	case *int64:
+		v := *p
+		return &v, 9, true
+	case *uint64:
+		v := *p
+		return &v, 9, true
+	case *float64:
+		v := *p
+		return &v, 9, true
+	case *bool:
+		v := *p
+		return &v, 2, true
+	case *string:
+		v := *p // strings are immutable; sharing is a safe copy
+		return &v, 1 + uvarintLen(uint64(len(v))) + len(v), true
+	case *[]byte:
+		cp := pool.getBytes(len(*p))
+		copy(cp, *p)
+		return &cp, 1 + uvarintLen(uint64(len(cp))) + len(cp), true
+	case *[]float64:
+		cp := pool.getF64(len(*p))
+		copy(cp, *p)
+		return &cp, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
+	case *[]int:
+		cp := append([]int(nil), *p...)
+		return &cp, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
+	case *[]int64:
+		cp := append([]int64(nil), *p...)
+		return &cp, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
+	case *[][]float64:
+		cp := make([][]float64, len(*p))
+		size := 1 + uvarintLen(uint64(len(cp)))
+		for i, row := range *p {
+			cp[i] = append([]float64(nil), row...)
+			size += uvarintLen(uint64(len(row))) + 8*len(row)
+		}
+		return &cp, size, true
+	}
+	return nil, 0, false
+}
+
+// encodedSize computes len(Encode(ptr)) without copying or encoding for
+// fast-path types; ok is false when only a real encode can tell.
+func encodedSize(ptr any) (int, bool) {
+	switch p := ptr.(type) {
+	case *int, *int64, *uint64, *float64:
+		return 9, true
+	case *bool:
+		return 2, true
+	case *string:
+		return 1 + uvarintLen(uint64(len(*p))) + len(*p), true
+	case *[]byte:
+		return 1 + uvarintLen(uint64(len(*p))) + len(*p), true
+	case *[]float64:
+		return 1 + uvarintLen(uint64(len(*p))) + 8*len(*p), true
+	case *[]int:
+		return 1 + uvarintLen(uint64(len(*p))) + 8*len(*p), true
+	case *[]int64:
+		return 1 + uvarintLen(uint64(len(*p))) + 8*len(*p), true
+	case *[][]float64:
+		size := 1 + uvarintLen(uint64(len(*p)))
+		for _, row := range *p {
+			size += uvarintLen(uint64(len(row))) + 8*len(row)
+		}
+		return size, true
+	}
+	return 0, false
+}
+
+// --- serialization against the frozen view ---
+
+// Snapshot serializes the frozen state into one blob, byte-identical to
+// what Saver.Snapshot would have produced at freeze time.
+func (f *Frozen) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(f.StateBytes())
+	if err := f.WriteTo(nopSection{&buf}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// StateBytes reports the exact serialized size of the frozen state.
+func (f *Frozen) StateBytes() int {
+	vds := f.vdsSectionSize()
+	heap := f.heap.sectionSize()
+	return psSectionSize(f.trace) + uvarintLen(uint64(vds)) + vds + uvarintLen(uint64(heap)) + heap
+}
+
+func (f *Frozen) vdsSectionSize() int {
+	size := uvarintLen(uint64(len(f.vds)))
+	for _, e := range f.vds {
+		size += entryOverhead(e.name, e.size) + e.size
+	}
+	return size
+}
+
+// entryOverhead is the framing around one VDS entry's value: name, kind
+// byte, value length prefix.
+func entryOverhead(name string, valueSize int) int {
+	return uvarintLen(uint64(len(name))) + len(name) + 1 + uvarintLen(uint64(valueSize))
+}
+
+func (fh frozenHeap) sectionSize() int {
+	size := uvarintLen(uint64(fh.next)) + uvarintLen(uint64(len(fh.blocks)))
+	for _, b := range fh.blocks {
+		size += uvarintLen(uint64(b.id)) + uvarintLen(uint64(len(b.data))) + len(b.data)
+	}
+	return size
+}
+
+func psSectionSize(trace []int) int {
+	size := uvarintLen(uint64(len(trace)))
+	for _, l := range trace {
+		size += uvarintLen(uint64(l))
+	}
+	return size
+}
+
+// WriteTo streams the frozen state into w, producing the same bytes as
+// Snapshot. Cut is called at section boundaries and around every value
+// larger than cutoverBytes, so a chunked SectionWriter dedups unchanged
+// variables and heap blocks across epochs.
+func (f *Frozen) WriteTo(w SectionWriter) error {
+	var scratch bytes.Buffer
+
+	// PS section.
+	writeUvarint(&scratch, uint64(len(f.trace)))
+	for _, l := range f.trace {
+		writeUvarint(&scratch, uint64(l))
+	}
+	if err := flushScratch(w, &scratch); err != nil {
+		return err
+	}
+	if err := w.Cut(); err != nil {
+		return err
+	}
+
+	// VDS section (framed, then entry stream).
+	writeUvarint(&scratch, uint64(f.vdsSectionSize()))
+	writeUvarint(&scratch, uint64(len(f.vds)))
+	for _, e := range f.vds {
+		writeString(&scratch, e.name)
+		scratch.WriteByte(byte(e.kind))
+		writeUvarint(&scratch, uint64(e.size))
+		if err := flushScratch(w, &scratch); err != nil {
+			return err
+		}
+		big := e.size >= cutoverBytes
+		if big {
+			if err := w.Cut(); err != nil {
+				return err
+			}
+		}
+		// Every value byte flows through cw: the stream frames the value
+		// with e.size, so a drift between the size formulas
+		// (copyValue/encodedSize) and the codec's actual output must fail
+		// the write here — never surface as a corrupt blob at restore,
+		// when the state needed to recover is already gone.
+		cw := &countingSection{w: w}
+		if err := e.writeValue(cw, &scratch); err != nil {
+			return err
+		}
+		if cw.n != e.size {
+			return fmt.Errorf("ckpt: entry %q serialized to %d bytes, size formula says %d", e.name, cw.n, e.size)
+		}
+		if big {
+			if err := w.Cut(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushScratch(w, &scratch); err != nil {
+		return err
+	}
+	if err := w.Cut(); err != nil {
+		return err
+	}
+
+	// Heap section (framed, then block stream).
+	writeUvarint(&scratch, uint64(f.heap.sectionSize()))
+	writeUvarint(&scratch, uint64(f.heap.next))
+	writeUvarint(&scratch, uint64(len(f.heap.blocks)))
+	for _, b := range f.heap.blocks {
+		writeUvarint(&scratch, uint64(b.id))
+		writeUvarint(&scratch, uint64(len(b.data)))
+		if len(b.data) >= cutoverBytes {
+			// Stream big blocks straight into w (as the VDS float path
+			// does): buffering through scratch would cost a full extra
+			// memcpy and pin a block-sized scratch for the rest of the walk.
+			if err := flushScratch(w, &scratch); err != nil {
+				return err
+			}
+			if err := w.Cut(); err != nil {
+				return err
+			}
+			if _, err := w.Write(b.data); err != nil {
+				return err
+			}
+			if err := w.Cut(); err != nil {
+				return err
+			}
+			continue
+		}
+		scratch.Write(b.data)
+		if err := flushScratch(w, &scratch); err != nil {
+			return err
+		}
+	}
+	return flushScratch(w, &scratch)
+}
+
+// writeValue encodes the entry's value (exactly e.size bytes) into w,
+// buffering small pieces through scratch.
+func (e *frozenEntry) writeValue(w SectionWriter, scratch *bytes.Buffer) error {
+	if e.enc != nil {
+		scratch.Write(e.enc)
+		return flushScratch(w, scratch)
+	}
+	if e.ptr == nil {
+		return nil // replicated marker: zero bytes
+	}
+	// Stream the float fast path directly (the dominant payload); encode
+	// everything else through scratch — those values are small.
+	if p, ok := e.ptr.(*[]float64); ok {
+		scratch.WriteByte(tagFloat64Slice)
+		if err := flushScratch(w, scratch); err != nil {
+			return err
+		}
+		return writeFloat64sTo(w, *p)
+	}
+	if err := EncodeTo(scratch, e.ptr); err != nil {
+		return err
+	}
+	return flushScratch(w, scratch)
+}
+
+// countingSection counts the bytes written through it; WriteTo verifies
+// each VDS value against its precomputed size with one.
+type countingSection struct {
+	w SectionWriter
+	n int
+}
+
+func (c *countingSection) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
+
+func (c *countingSection) Cut() error { return c.w.Cut() }
+
+func flushScratch(w io.Writer, scratch *bytes.Buffer) error {
+	if scratch.Len() == 0 {
+		return nil
+	}
+	_, err := w.Write(scratch.Bytes())
+	scratch.Reset()
+	return err
+}
+
+// uvarintLen reports the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,197 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+type gobStruct struct {
+	A int
+	B string
+}
+
+// buildRichSaver registers one value of every representative shape — fast
+// paths, gob fallback, computed, replicated — plus heap blocks.
+func buildRichSaver(t *testing.T, primary bool) *Saver {
+	t.Helper()
+	s := NewSaver()
+	s.VDS.Primary = primary
+	s.PS.Push(3)
+	s.PS.Push(7)
+
+	it := 42
+	grid := make([]float64, 4096)
+	for i := range grid {
+		grid[i] = float64(i) * 0.5
+	}
+	raw := []byte("raw-bytes-value")
+	name := "a-string"
+	flag := true
+	ids := []int{1, 2, 3}
+	counts := []int64{9, 8}
+	mat := [][]float64{{1, 2}, {3, 4, 5}}
+	gs := gobStruct{A: 1, B: "two"}
+	table := []float64{10, 20, 30}
+	ro := make([]float64, 600)
+
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.VDS.Push("it", &it))
+	must(s.VDS.Push("grid", &grid))
+	must(s.VDS.Push("raw", &raw))
+	must(s.VDS.Push("name", &name))
+	must(s.VDS.Push("flag", &flag))
+	must(s.VDS.Push("ids", &ids))
+	must(s.VDS.Push("counts", &counts))
+	must(s.VDS.Push("mat", &mat))
+	must(s.VDS.Push("gs", &gs))
+	must(s.VDS.PushReplicated("table", &table))
+	must(s.VDS.PushComputed("ro", &ro, func() error { return nil }))
+
+	b := s.Heap.Alloc(5000)
+	for i := range b.Data {
+		b.Data[i] = byte(i)
+	}
+	s.Heap.Alloc(16)
+	return s
+}
+
+// TestFreezeSnapshotMatchesSaver pins the contract that makes the async
+// pipeline safe: the frozen view serializes to exactly the bytes
+// Saver.Snapshot would have produced at freeze time, and StateBytes
+// predicts the length without serializing.
+func TestFreezeSnapshotMatchesSaver(t *testing.T) {
+	for _, primary := range []bool{true, false} {
+		s := buildRichSaver(t, primary)
+		want, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := s.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("primary=%v: frozen snapshot differs from direct snapshot (%d vs %d bytes)", primary, len(got), len(want))
+		}
+		if f.StateBytes() != len(want) {
+			t.Fatalf("primary=%v: Frozen.StateBytes = %d, snapshot is %d bytes", primary, f.StateBytes(), len(want))
+		}
+		n, err := s.StateBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(want) {
+			t.Fatalf("primary=%v: Saver.StateBytes = %d, snapshot is %d bytes", primary, n, len(want))
+		}
+	}
+}
+
+// TestFreezeIsolation: mutations after Freeze must not leak into the frozen
+// view — that is the property that lets the rank compute while the flusher
+// serializes.
+func TestFreezeIsolation(t *testing.T) {
+	s := NewSaver()
+	grid := make([]float64, 1000)
+	var it int
+	if err := s.VDS.Push("it", &it); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VDS.Push("grid", &grid); err != nil {
+		t.Fatal(err)
+	}
+	b := s.Heap.Alloc(100)
+
+	f, err := s.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate everything the application could touch.
+	it = 99
+	for i := range grid {
+		grid[i] = -1
+	}
+	for i := range b.Data {
+		b.Data[i] = 0xFF
+	}
+	s.Heap.Alloc(8)
+	s.PS.Push(1)
+
+	got, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mutations after Freeze leaked into the frozen view")
+	}
+	// And a restore from the frozen bytes sees the pre-mutation values.
+	r := NewSaver()
+	if err := r.StartRestore(want); err != nil {
+		t.Fatal(err)
+	}
+	var it2 int
+	grid2 := []float64{}
+	if err := r.VDS.Push("it", &it2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.VDS.Push("grid", &grid2); err != nil {
+		t.Fatal(err)
+	}
+	if it2 != 0 || grid2[0] != 0 || len(grid2) != 1000 {
+		t.Fatalf("restore from frozen blob: it=%d grid0=%v len=%d", it2, grid2[0], len(grid2))
+	}
+	if r.Heap.Lookup(b.ID) == nil || r.Heap.Lookup(b.ID).Data[0] != 0 {
+		t.Fatal("restored heap block should hold pre-mutation bytes")
+	}
+}
+
+// cutRecorder counts Cut boundaries to verify large values are isolated.
+type cutRecorder struct {
+	bytes.Buffer
+	cuts int
+}
+
+func (c *cutRecorder) Cut() error { c.cuts++; return nil }
+
+func TestFrozenWriteToCutsAroundLargeValues(t *testing.T) {
+	s := NewSaver()
+	big := make([]float64, cutoverBytes) // 8*cutover bytes, well over the threshold
+	small := 1
+	if err := s.VDS.Push("small", &small); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VDS.Push("big", &big); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec cutRecorder
+	if err := f.WriteTo(&rec); err != nil {
+		t.Fatal(err)
+	}
+	// PS cut + VDS section cut + two cuts isolating the big entry >= 4.
+	if rec.cuts < 4 {
+		t.Fatalf("WriteTo produced %d cuts, want >= 4", rec.cuts)
+	}
+	want, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Bytes(), want) {
+		t.Fatal("WriteTo stream differs from Snapshot")
+	}
+}

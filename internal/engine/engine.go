@@ -73,6 +73,16 @@ type Config struct {
 	// incarnation's world; nil selects the in-process indexed-mailbox
 	// transport. The public API's WithTransport option lands here.
 	NewTransport func(*mpi.World) mpi.Transport
+	// SyncCheckpoint disables the asynchronous checkpoint pipeline and
+	// restores the classic stop-serialize-fsync path. The default (false)
+	// freezes a copy of the live state and overlaps the durable write with
+	// continued computation on a per-rank background flusher; sync is kept
+	// for baselines and for measuring the overlap's win.
+	SyncCheckpoint bool
+	// ChunkSize is the chunk granularity of the content-hashed chunked
+	// state writer (bytes); 0 selects storage.DefaultChunkSize. Unchanged
+	// chunks are re-referenced instead of re-written across epochs.
+	ChunkSize int
 }
 
 // Result reports a completed run.
@@ -151,6 +161,9 @@ func (cfg Config) Validate() error {
 	if cfg.EveryN > 0 && cfg.Interval > 0 {
 		return fmt.Errorf("engine: conflicting checkpoint triggers: EveryN (%d) and Interval (%v) are mutually exclusive — pick one",
 			cfg.EveryN, cfg.Interval)
+	}
+	if cfg.ChunkSize < 0 {
+		return fmt.Errorf("engine: ChunkSize must not be negative, got %d", cfg.ChunkSize)
 	}
 	for i, f := range cfg.Failures {
 		if f.Rank < 0 || f.Rank >= cfg.Ranks {
@@ -355,14 +368,22 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 				}
 			}()
 			layer := protocol.NewLayer(world.Comm(r), protocol.Config{
-				Mode:     cfg.Mode,
-				Store:    cs,
-				EveryN:   cfg.EveryN,
-				Interval: cfg.Interval,
-				Debug:    cfg.Debug,
-				Tracer:   cfg.Tracer,
-				Ctx:      ctx,
+				Mode:       cfg.Mode,
+				Store:      cs,
+				EveryN:     cfg.EveryN,
+				Interval:   cfg.Interval,
+				Debug:      cfg.Debug,
+				Tracer:     cfg.Tracer,
+				Ctx:        ctx,
+				AsyncFlush: !cfg.SyncCheckpoint,
+				ChunkSize:  cfg.ChunkSize,
 			})
+			// The background flusher must not outlive this incarnation:
+			// Shutdown waits for an in-flight state write (registered after
+			// the recover defer, so it runs first on a panic unwind and a
+			// dying rank never leaks a goroutine still writing to the
+			// store a later incarnation reads).
+			defer layer.Shutdown()
 			rank := newRank(layer, cfg.Seed, incarnation)
 			if restore {
 				app, err := layer.Restore(epoch, suppress[r])
@@ -392,6 +413,12 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 			layer.ServiceControlUntil(func() bool {
 				return finished.Load() >= int64(n)
 			})
+			// Drain the flusher before reading final stats: a checkpoint
+			// still in flight at completion is finished (its bytes count)
+			// and a failed flush surfaces as this rank's error.
+			if err := layer.Shutdown(); err != nil && errs[r] == nil {
+				errs[r] = err
+			}
 			stats[r] = layer.Stats
 		}(r)
 	}

@@ -393,18 +393,33 @@ func TestChaosRecovery(t *testing.T) {
 func TestIsendIrecvAcrossCheckpoints(t *testing.T) {
 	// Request pseudo-handles that straddle checkpoints (Section 5.2's
 	// transient objects): Irecv posted before the checkpoint, Wait after.
+	// The handle and a posted flag are registered state, so a restart
+	// resumes Wait on the request revived from the checkpoint's request
+	// records instead of re-executing the pre-checkpoint Irecv/Isend —
+	// without Position Stack instrumentation, re-running a pre-checkpoint
+	// send would duplicate a message the receiver's restored state or log
+	// already accounts for (that statement-level resume is exactly what
+	// the precompiler's PS instrumentation provides).
 	prog := func(r *Rank) (any, error) {
 		next := (r.Rank() + 1) % r.Size()
 		prev := (r.Rank() - 1 + r.Size()) % r.Size()
 		var it int
 		var total float64
+		var posted bool
+		var h protocol.Handle
 		r.Register("it", &it)
 		r.Register("total", &total)
+		r.Register("posted", &posted)
+		r.Register("h", &h)
 		for ; it < 20; it++ {
-			h := r.Irecv(prev, 1)
-			r.Isend(next, 1, mpi.F64Bytes([]float64{float64(r.Rank()*1000 + it)}))
+			if !posted {
+				h = r.Irecv(prev, 1)
+				r.Isend(next, 1, mpi.F64Bytes([]float64{float64(r.Rank()*1000 + it)}))
+				posted = true
+			}
 			r.PotentialCheckpoint()
 			m := r.Wait(h)
+			posted = false
 			total += mpi.BytesF64(m.Data)[0]
 		}
 		return total, nil

@@ -142,6 +142,18 @@ func (r *Rank) Alltoall(data []byte) []byte { return r.l.Alltoall(data) }
 
 // PotentialCheckpoint marks a program location where a local checkpoint may
 // be taken (the one annotation the paper requires from the programmer).
+//
+// Placement rule for hand-instrumented programs: everything the program
+// re-executes after a restart (from its registered-state resume point to
+// this call) must be free of communication side effects that the
+// checkpoint already captured. In practice: call PotentialCheckpoint at
+// the top of the iteration body, before the iteration's sends, or register
+// the straddling request handles (plus a posted flag) so the restart
+// resumes Wait on the revived requests instead of re-posting them —
+// re-executing a pre-checkpoint send duplicates a message the receiver's
+// restored state or log already accounts for. Precompiled programs are
+// exempt: Position Stack instrumentation resumes at the checkpoint
+// statement itself.
 func (r *Rank) PotentialCheckpoint() { r.l.PotentialCheckpoint() }
 
 // Register pushes a variable descriptor: ptr's value is saved with every

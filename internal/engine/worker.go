@@ -40,6 +40,11 @@ type WorkerConfig struct {
 	// EveryN / Interval are the initiator's checkpoint triggers.
 	EveryN   int
 	Interval time.Duration
+	// SyncCheckpoint disables the asynchronous checkpoint pipeline (see
+	// Config.SyncCheckpoint); ChunkSize sets the chunked state writer's
+	// granularity (0 = default).
+	SyncCheckpoint bool
+	ChunkSize      int
 	// KillAtOp, when non-zero, schedules this rank's death at its
 	// KillAtOp-th substrate operation. Kill performs the death; the
 	// launcher's worker installs a real self-SIGKILL (which never returns),
@@ -167,14 +172,20 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	}()
 
 	layer := protocol.NewLayer(world.Comm(cfg.Rank), protocol.Config{
-		Mode:     cfg.Mode,
-		Store:    cs,
-		EveryN:   cfg.EveryN,
-		Interval: cfg.Interval,
-		Debug:    cfg.Debug,
-		Tracer:   cfg.Tracer,
-		Ctx:      ctx,
+		Mode:       cfg.Mode,
+		Store:      cs,
+		EveryN:     cfg.EveryN,
+		Interval:   cfg.Interval,
+		Debug:      cfg.Debug,
+		Tracer:     cfg.Tracer,
+		Ctx:        ctx,
+		AsyncFlush: !cfg.SyncCheckpoint,
+		ChunkSize:  cfg.ChunkSize,
 	})
+	// Registered after the recover defer, so a stop-failure unwind stops
+	// the flusher (waiting out any in-flight write) before the process
+	// reports rollback and exits.
+	defer layer.Shutdown()
 	rank := newRank(layer, cfg.Seed, cfg.Incarnation)
 	if restore {
 		app, err := layer.Restore(epoch, suppress)
@@ -199,6 +210,11 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	// finished-counter parking.
 	cfg.AnnounceDone()
 	layer.ServiceControlUntil(cfg.AllDone)
+	// Drain the flusher before reporting: a failed state write is this
+	// worker's error, and a late-finishing flush still counts in Stats.
+	if err := layer.Shutdown(); err != nil {
+		return res, err
+	}
 	res.Value = v
 	res.Stats = layer.Stats
 	return res, nil

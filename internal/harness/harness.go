@@ -115,6 +115,14 @@ func (e Experiment) runOnce(ctx context.Context, size Size, mode protocol.Mode) 
 		Store:    store,
 		EveryN:   size.EveryN,
 		Interval: size.Interval,
+		// The Figure 8 experiments measure the paper's blocking
+		// checkpoint semantics: the rank stops until its state is
+		// durable. (The write itself shares the chunked dedup writer;
+		// the async pipeline's overlap is measured separately by
+		// BenchmarkCheckpointBlocked / BENCH_pr4.json, where blocked vs
+		// flush time is told apart — wall-clock alone would conflate
+		// the paper's overhead with flush contention.)
+		SyncCheckpoint: true,
 	}
 	start := time.Now()
 	res, err := engine.RunContext(ctx, cfg, size.Program)

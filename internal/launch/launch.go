@@ -436,6 +436,15 @@ type WorkerApp struct {
 	// Mode selects the protocol version; the zero value selects Full, the
 	// only mode that can recover, which is what a distributed run is for.
 	Mode protocol.Mode
+	// SyncCheckpoint disables the asynchronous checkpoint pipeline;
+	// ChunkSize sets the chunked state writer's granularity (0 = default).
+	SyncCheckpoint bool
+	ChunkSize      int
+	// WrapStore, when non-nil, wraps the worker's stable store before the
+	// engine sees it. Fault-injection tests use it to fail or delay
+	// specific writes (e.g. SIGKILL mid checkpoint flush); production
+	// workers leave it nil.
+	WrapStore func(storage.Stable) storage.Stable
 }
 
 // WorkerMain runs the worker role to completion and exits the process with
@@ -480,9 +489,13 @@ func workerRun(app WorkerApp) (int, error) {
 		killAtOp = n
 	}
 
-	store, err := storage.NewDisk(storeDir)
+	disk, err := storage.NewDisk(storeDir)
 	if err != nil {
 		return exitError, err
+	}
+	var store storage.Stable = disk
+	if app.WrapStore != nil {
+		store = app.WrapStore(store)
 	}
 	publish, lookup := tcptransport.FileRendezvous(rdv, 30*time.Second)
 	tr, err := tcptransport.New(tcptransport.Config{
@@ -504,12 +517,14 @@ func workerRun(app WorkerApp) (int, error) {
 	}
 	res, err := engine.RunWorker(context.Background(), engine.WorkerConfig{
 		Rank: rank, Ranks: ranks,
-		Incarnation: incarnation,
-		Mode:        mode,
-		Store:       store,
-		EveryN:      app.EveryN,
-		Interval:    app.Interval,
-		KillAtOp:    killAtOp,
+		Incarnation:    incarnation,
+		Mode:           mode,
+		Store:          store,
+		EveryN:         app.EveryN,
+		Interval:       app.Interval,
+		SyncCheckpoint: app.SyncCheckpoint,
+		ChunkSize:      app.ChunkSize,
+		KillAtOp:       killAtOp,
 		Kill: func() {
 			// A real stopping failure: no deferred cleanup, no recover, no
 			// goodbye on the sockets — the kernel reaps the process and

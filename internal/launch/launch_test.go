@@ -13,10 +13,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 
 	"ccift/internal/apps"
 	"ccift/internal/launch"
+	"ccift/internal/storage"
 )
 
 // Worker parameters shared by every spawned rank (the worker rebuilds the
@@ -28,14 +30,75 @@ const (
 	testEveryN = 10
 )
 
+// envVariant selects the worker configuration for a whole launch.Run: the
+// launcher process sets it (t.Setenv) and every spawned worker inherits it.
+//
+//   - "" (default): the asynchronous checkpoint pipeline, as production
+//     workers run it.
+//   - "sync": the classic blocking write path. The op-calibrated
+//     commit-timing assertions (kill at op N ⇒ a checkpoint has committed)
+//     only hold when the rank blocks through serialize+fsync; under async
+//     the rank races ahead of its own flush, so those tests pin the sync
+//     baseline.
+//   - "kill-mid-flush": async, and the doomed rank SIGKILLs itself the
+//     moment its epoch-2 state manifest write begins — a real process
+//     death with a checkpoint flush in flight by construction. Runs the
+//     long program: epoch 2 must demonstrably begin while every rank is
+//     still computing, which the short program cannot guarantee (a rank
+//     that has finished its loop takes no further checkpoints).
+//   - "long-baseline": the long program fault-free, for the mid-flush
+//     test's output comparison.
+const envVariant = "CCIFT_TEST_WORKER_VARIANT"
+
+// testLongIters sizes the "kill-mid-flush"/"long-baseline" program so the
+// epoch-1 commit → epoch-2 checkpoint sequence (a few storage fsyncs)
+// completes while hundreds of iterations still remain, on any plausibly
+// slow machine.
+const testLongIters = 400
+
+// killOnPut SIGKILLs the process when a write to key begins: the flusher
+// goroutine dies mid-checkpoint, exactly like a machine crash during the
+// overlapped state write.
+type killOnPut struct {
+	storage.Stable
+	key string
+}
+
+func (k killOnPut) Put(key string, data []byte) error {
+	if key == k.key {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // unreachable: SIGKILL cannot be handled
+	}
+	return k.Stable.Put(key, data)
+}
+
 func TestMain(m *testing.M) {
 	if launch.IsWorker() {
-		prog, _, err := apps.Build("laplace", testRanks, testSize, testIters)
+		variant := os.Getenv(envVariant)
+		iters := testIters
+		if variant == "kill-mid-flush" || variant == "long-baseline" {
+			iters = testLongIters
+		}
+		prog, _, err := apps.Build("laplace", testRanks, testSize, iters)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		launch.WorkerMain(launch.WorkerApp{Prog: prog, EveryN: testEveryN})
+		app := launch.WorkerApp{Prog: prog, EveryN: testEveryN}
+		switch variant {
+		case "sync":
+			app.SyncCheckpoint = true
+		case "kill-mid-flush":
+			// Only the first incarnation's rank 2 is doomed: epoch numbers
+			// restart below the trigger after recovery, so an unconditional
+			// trap would kill every re-spawn at its epoch-2 flush forever.
+			if os.Getenv("CCIFT_RANK") == "2" && os.Getenv("CCIFT_INCARNATION") == "0" {
+				app.WrapStore = func(s storage.Stable) storage.Stable {
+					return killOnPut{Stable: s, key: storage.StateKey(2, 2)}
+				}
+			}
+		}
+		launch.WorkerMain(app)
 	}
 	os.Exit(m.Run())
 }
@@ -69,6 +132,11 @@ func TestDistributedFaultFree(t *testing.T) {
 }
 
 func TestDistributedSIGKILLRecovery(t *testing.T) {
+	// Sync write path: the late-kill assertion below (op 300 ⇒ a commit has
+	// landed) is calibrated against ranks that block through their
+	// checkpoint write. TestDistributedKillMidFlush covers the async
+	// pipeline's crash window.
+	t.Setenv(envVariant, "sync")
 	baseline := runLaplace(t, nil)
 
 	// Kill rank 2's process at its op 100 — before the first commit, so the
@@ -110,6 +178,7 @@ func TestDistributedSIGKILLRecovery(t *testing.T) {
 // the beginning — RecoveredEpochs[-1] would instead name the previous
 // job's final epoch if the stale commit record were honored.
 func TestReusedStoreIgnoresStaleCommit(t *testing.T) {
+	t.Setenv(envVariant, "sync") // op-calibrated commit timing, as above
 	baseline := runLaplace(t, nil)
 	store := filepath.Join(t.TempDir(), "ckpt")
 
@@ -140,6 +209,37 @@ func TestReusedStoreIgnoresStaleCommit(t *testing.T) {
 	}
 	if second.Output != baseline.Output {
 		t.Fatalf("second job output %q != fault-free output %q", second.Output, baseline.Output)
+	}
+}
+
+// TestDistributedKillMidFlush: SIGKILL a rank while its asynchronous
+// checkpoint flush is in flight — the kill fires from inside the flusher's
+// epoch-2 state-manifest write, so the flush is provably incomplete — and
+// assert the job recovers from the previous committed epoch with output
+// identical to a fault-free run. Epoch 1 is committed by protocol
+// invariant before any rank can begin checkpoint 2 (the initiator starts a
+// new global checkpoint only after the previous one's commit record is
+// durable), and epoch 2 can never commit because the dead rank's manifest
+// was never written: recovery from exactly epoch 1 is deterministic.
+func TestDistributedKillMidFlush(t *testing.T) {
+	t.Setenv(envVariant, "long-baseline")
+	baseline := runLaplace(t, nil)
+	t.Setenv(envVariant, "kill-mid-flush")
+	res, err := launch.Run(launch.Config{Ranks: testRanks, Stderr: io.Discard})
+	if err != nil {
+		t.Fatalf("launch.Run: %v", err)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("%d restarts, want 1", res.Restarts)
+	}
+	if got := res.Incarnations[0].Exits[2]; got != "signal: killed" {
+		t.Fatalf("doomed rank exited %q, want signal: killed", got)
+	}
+	if len(res.RecoveredEpochs) != 1 || res.RecoveredEpochs[0] != 1 {
+		t.Fatalf("recovered epochs %v, want [1]: a crash mid-flush must fall back to the previous committed epoch, never the one in flight", res.RecoveredEpochs)
+	}
+	if res.Output != baseline.Output {
+		t.Fatalf("recovered output %q != fault-free output %q", res.Output, baseline.Output)
 	}
 }
 

@@ -260,3 +260,76 @@ func bitIndex(mask int) int {
 	}
 	return i
 }
+
+// Additional MPI collective and combined operations: Sendrecv, Scan, and
+// Reducescatter. These complete the operation set the paper's MPI context
+// assumes; like the rest of the substrate they decompose into point-to-point
+// messages below the protocol layer.
+
+// Sendrecv sends to dst with sendTag and receives from src with recvTag in
+// one combined operation, deadlock-free regardless of ordering (MPI's
+// MPI_Sendrecv). The transport buffers eagerly, so send-then-receive cannot
+// block.
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) *Message {
+	c.world.enter(c.members[c.myIdx])
+	c.send(dst, sendTag, data)
+	return c.recv(src, recvTag)
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives the
+// combination of the payloads of ranks 0..i (MPI_Scan). Implemented as a
+// linear chain, the standard algorithm for modest rank counts.
+func (c *Comm) Scan(data []byte, op Op) []byte {
+	c.world.enter(c.members[c.myIdx])
+	seq := c.nextColl()
+	acc := append([]byte(nil), data...)
+	if c.myIdx > 0 {
+		m := c.recvInternal(c.myIdx-1, c.collTag(seq, 0))
+		// acc = prefix ⊕ own: Combine folds src into dst, so start from the
+		// predecessor's prefix and fold our contribution in.
+		prefix := append([]byte(nil), m.Data...)
+		op.Combine(prefix, acc)
+		acc = prefix
+	}
+	if c.myIdx < c.Size()-1 {
+		c.send(c.myIdx+1, c.collTag(seq, 0), acc)
+	}
+	return acc
+}
+
+// Reducescatter combines equal-sized per-rank blocks across all ranks and
+// scatters the result: rank i receives the reduction of everyone's i-th
+// block (MPI_Reduce_scatter_block). data must be size×blockLen bytes.
+func (c *Comm) Reducescatter(data []byte, op Op) []byte {
+	c.world.enter(c.members[c.myIdx])
+	n := c.Size()
+	if len(data)%n != 0 {
+		panic(fmt.Sprintf("mpi: Reducescatter: payload %d bytes not divisible by %d ranks", len(data), n))
+	}
+	blockLen := len(data) / n
+	seq := c.nextColl()
+
+	// Reduce at rank 0 over a binomial tree, then scatter the blocks.
+	// (Reduce-then-scatter is the simple algorithm; recursive halving is an
+	// optimization with identical semantics.)
+	acc := append([]byte(nil), data...)
+	vrank := c.myIdx
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			c.send(c.myIdx-mask, c.collTag(seq, bitIndex(mask)), acc)
+			break
+		}
+		if peer := c.myIdx + mask; peer < n {
+			m := c.recvInternal(peer, c.collTag(seq, bitIndex(mask)))
+			op.Combine(acc, m.Data)
+		}
+	}
+	if c.myIdx == 0 {
+		for r := 1; r < n; r++ {
+			c.send(r, c.collTag(seq, 40), acc[r*blockLen:(r+1)*blockLen])
+		}
+		return acc[:blockLen:blockLen]
+	}
+	m := c.recvInternal(0, c.collTag(seq, 40))
+	return m.Data
+}

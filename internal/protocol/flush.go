@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ccift/internal/mpi"
+)
+
+// The background checkpoint flusher. In async mode takeCheckpoint hands
+// the captured checkpoint to a per-layer goroutine that serializes it and
+// streams it into stable storage while the rank computes on. The layer
+// itself stays single-threaded: the flusher communicates only through the
+// flushOut channel, and the rank integrates results (stats, the
+// stoppedLogging report) from its own goroutine via pollFlush.
+//
+// Correctness under crashes hangs on one rule: a rank reports
+// stoppedLogging — and therefore the initiator can write the commit
+// record — only after BOTH its log write and its state flush are durable
+// (maybeReportStopped). A crash mid-flush leaves the new epoch
+// uncommitted, so recovery falls back to the previous committed epoch,
+// exactly as a crash mid-checkpoint did on the synchronous path.
+
+type flushResult struct {
+	epoch          int
+	total, written int64
+	dur            time.Duration
+	err            error
+}
+
+// startFlush hands a captured checkpoint to the flusher, starting the
+// goroutine on first use. At most one flush is in flight per layer: the
+// protocol admits one global checkpoint at a time, and the next cannot be
+// requested until this one's commit — which waits for this flush.
+func (l *Layer) startFlush(p *pendingCheckpoint) {
+	if l.flushPending {
+		panic("protocol: checkpoint flush started while one is in flight")
+	}
+	if l.flushJobs == nil {
+		l.flushJobs = make(chan *pendingCheckpoint)
+		l.flushOut = make(chan flushResult, 1)
+		l.flushWG.Add(1)
+		go l.flushLoop()
+	}
+	l.flushPending = true
+	l.flushJobs <- p
+}
+
+func (l *Layer) flushLoop() {
+	defer l.flushWG.Done()
+	for p := range l.flushJobs {
+		start := time.Now()
+		total, written, err := l.writeState(p)
+		l.flushOut <- flushResult{epoch: p.epoch, total: total, written: written, dur: time.Since(start), err: err}
+		// Wake ranks parked in the transport (ServiceControlUntil) so the
+		// completion is observed without waiting for unrelated traffic.
+		l.comm.World().Interrupt()
+	}
+}
+
+// flushReady reports whether a finished flush awaits integration; wake
+// conditions poll it so a parked rank resumes on completion.
+func (l *Layer) flushReady() bool { return l.flushPending && len(l.flushOut) > 0 }
+
+// pollFlush integrates a finished flush, if any: stats, the checkpoint
+// trace event, and — when the log is already finalized — the deferred
+// stoppedLogging report. Runs at every protocol operation; never blocks.
+func (l *Layer) pollFlush() {
+	if !l.flushPending {
+		return
+	}
+	select {
+	case r := <-l.flushOut:
+		l.finishFlush(r)
+	default:
+	}
+}
+
+func (l *Layer) finishFlush(r flushResult) {
+	l.flushPending = false
+	if r.err != nil {
+		if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+			panic(mpi.ErrCanceled)
+		}
+		panic(fmt.Sprintf("protocol: persist state (epoch %d, rank %d): %v", r.epoch, l.rank, r.err))
+	}
+	l.integrateFlush(r)
+	l.maybeReportStopped()
+}
+
+// integrateFlush applies a successful flush's outcome to the layer's
+// counters and trace stream; shared by the normal path (finishFlush) and
+// the drain path (Shutdown), both on the rank's goroutine.
+func (l *Layer) integrateFlush(r flushResult) {
+	l.Stats.CheckpointBytes += r.total
+	l.Stats.CheckpointBytesWritten += r.written
+	l.Stats.CheckpointFlushNs += r.dur.Nanoseconds()
+	l.trace(TraceCheckpoint, -1, 0, 0, int(r.total))
+}
+
+// maybeReportStopped sends stoppedLogging once per checkpoint, and only
+// when both halves of the local checkpoint are durable: the finalized log
+// and the flushed state. The initiator's commit record waits on every
+// rank's report, so a crash before this point recovers from the previous
+// committed epoch.
+func (l *Layer) maybeReportStopped() {
+	if l.logDone && !l.flushPending && !l.stopSent {
+		l.stopSent = true
+		l.sendCtl(0, tagStoppedLogging, uint64(l.epoch))
+	}
+}
+
+// Shutdown stops the flusher, waiting for an in-flight state write to
+// finish (or abort, if the layer's context was canceled), and returns the
+// write's error if it failed. It never panics — the engine calls it during
+// both normal completion and panic unwinds — and it is idempotent. Stats
+// of a flush that completed after the program finished are still
+// integrated, so the run's final counters include every checkpoint.
+func (l *Layer) Shutdown() error {
+	if l.flushJobs == nil || l.flushClosed {
+		return nil
+	}
+	l.flushClosed = true
+	close(l.flushJobs)
+	l.flushWG.Wait()
+	if !l.flushPending {
+		return nil
+	}
+	r := <-l.flushOut
+	l.flushPending = false
+	if r.err != nil {
+		if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+			return nil // the run is unwinding for cancellation already
+		}
+		return fmt.Errorf("protocol: persist state (epoch %d, rank %d): %w", r.epoch, l.rank, r.err)
+	}
+	l.integrateFlush(r)
+	return nil
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"os"
+	"sync"
 	"time"
 
 	"ccift/internal/ckpt"
@@ -80,6 +82,16 @@ type Config struct {
 	Debug bool
 	// Tracer, when non-nil, receives protocol events (see TraceEvent).
 	Tracer Tracer
+	// AsyncFlush moves checkpoint serialization and storage I/O onto a
+	// background flusher goroutine: takeCheckpoint blocks the rank only to
+	// freeze a copy of the live state, and the durable write overlaps
+	// continued computation. The commit record still waits for every
+	// rank's flush (see maybeReportStopped), so crash-consistency is
+	// unchanged. Off means the classic stop-serialize-fsync path.
+	AsyncFlush bool
+	// ChunkSize is the chunk granularity of the content-hashed state
+	// writer; 0 selects storage.DefaultChunkSize.
+	ChunkSize int
 }
 
 // Stats counts protocol activity for the evaluation harness.
@@ -95,9 +107,19 @@ type Stats struct {
 	LogBytes           int64
 	CheckpointsTaken   int64
 	CheckpointBytes    int64
-	SuppressedSends    int64
-	ReplayedLate       int64
-	ReplayedResults    int64
+	// CheckpointBytesWritten counts bytes actually stored after chunk
+	// dedup; the gap to CheckpointBytes is the incremental-checkpoint win.
+	CheckpointBytesWritten int64
+	// CheckpointBlockedNs is time the rank spent stopped inside
+	// takeCheckpoint (freeze + inline write when synchronous);
+	// CheckpointFlushNs is time spent writing state to stable storage
+	// (overlapped with computation when asynchronous). Their ratio is the
+	// async pipeline's headline number.
+	CheckpointBlockedNs int64
+	CheckpointFlushNs   int64
+	SuppressedSends     int64
+	ReplayedLate        int64
+	ReplayedResults     int64
 }
 
 // AppMessage is a delivered application message (piggyback stripped).
@@ -158,6 +180,18 @@ type Layer struct {
 	// kept unwrapped so the per-op cancellation check is one channel poll,
 	// not a ctx.Err() mutex acquisition.
 	done <-chan struct{}
+
+	// Background checkpoint flusher (see flush.go). flushJobs/flushOut are
+	// the only cross-goroutine channels; flushPending, logDone and
+	// stopSent are the rank goroutine's single-threaded view of the
+	// current checkpoint's durability.
+	flushJobs    chan *pendingCheckpoint
+	flushOut     chan flushResult
+	flushWG      sync.WaitGroup
+	flushPending bool
+	flushClosed  bool
+	logDone      bool
+	stopSent     bool
 
 	// Completion: once the application on this rank has finished, the
 	// layer only services control traffic.
@@ -241,6 +275,7 @@ func (l *Layer) enterOp() {
 	if !l.active() {
 		return
 	}
+	l.pollFlush()
 	l.drainControl()
 	if l.init != nil {
 		l.maybeInitiate(false)
@@ -328,6 +363,18 @@ func (l *Layer) handleControl(specIdx int, m *mpi.Message) {
 				}
 				l.trace(TraceCommit, -1, 0, 0, l.init.target)
 				l.init.inProgress = false
+				// Epochs older than the newly committed one are
+				// unreachable (recovery always starts from the newest
+				// commit): delete their blobs and sweep orphaned chunks.
+				// Safe against concurrent writers because the next
+				// pleaseCheckpoint is only broadcast after this returns.
+				// GC is best-effort — the commit record is already durable,
+				// so a prune failure must not kill a job whose checkpoints
+				// are all intact; the next commit's sweep retries anything
+				// still unreferenced.
+				if err := l.cfg.Store.Prune(l.init.target); err != nil {
+					fmt.Fprintf(os.Stderr, "protocol: prune epochs below %d (non-fatal): %v\n", l.init.target, err)
+				}
 			}
 		}
 	}
@@ -408,7 +455,10 @@ func (l *Layer) receivedAll() {
 }
 
 // finalizeLog implements finalizeLog() of Figure 4: write the log to stable
-// storage, stop logging, and notify the initiator.
+// storage and stop logging. The stoppedLogging report to the initiator is
+// sent through maybeReportStopped, which additionally waits for this
+// epoch's state flush — the commit record must never be written while any
+// rank's checkpoint is still in flight.
 func (l *Layer) finalizeLog() {
 	blob := l.log.Marshal()
 	if err := l.cfg.Store.PutLog(l.epoch, l.rank, blob); err != nil {
@@ -417,7 +467,8 @@ func (l *Layer) finalizeLog() {
 	l.Stats.LogBytes += int64(len(blob))
 	l.amLogging = false
 	l.trace(TraceLogFinalized, -1, 0, 0, len(blob))
-	l.sendCtl(0, tagStoppedLogging, uint64(l.epoch))
+	l.logDone = true
+	l.maybeReportStopped()
 }
 
 // PotentialCheckpoint is the application's checkpoint opportunity. A local
@@ -444,22 +495,35 @@ func (l *Layer) PotentialCheckpoint() {
 }
 
 // takeCheckpoint performs potentialCheckpoint()'s state transition from
-// Figure 4 plus the state saving of Section 5.
+// Figure 4 plus the state saving of Section 5. The state save is split
+// into snapshot-now (captureState: protocol counters + a frozen copy of
+// the application state, the only part the rank blocks for) and
+// flush (writeState: serialize + chunked durable write), which runs
+// inline in sync mode and on the background flusher in async mode.
 func (l *Layer) takeCheckpoint() {
+	start := time.Now()
 	l.epoch++
 
 	// Save node state: application state (Section 5.1) + MPI library state
 	// (Section 5.2) + the early-message IDs and epoch (Figure 4).
-	blob, err := l.marshalState()
+	p, err := l.captureState()
 	if err != nil {
 		panic(fmt.Sprintf("protocol: snapshot state: %v", err))
 	}
-	if err := l.cfg.Store.PutState(l.epoch, l.rank, blob); err != nil {
-		panic(fmt.Sprintf("protocol: persist state: %v", err))
+	l.logDone = false
+	l.stopSent = false
+	if l.cfg.AsyncFlush {
+		l.startFlush(p)
+	} else {
+		// Inline write, integrated through the same path as a finished
+		// background flush so the two modes cannot drift (stats, trace
+		// event, cancellation translation).
+		fstart := time.Now()
+		total, written, err := l.writeState(p)
+		l.finishFlush(flushResult{epoch: p.epoch, total: total, written: written, dur: time.Since(fstart), err: err})
 	}
 	l.Stats.CheckpointsTaken++
-	l.Stats.CheckpointBytes += int64(len(blob))
-	l.trace(TraceCheckpoint, -1, 0, 0, len(blob))
+	l.Stats.CheckpointBlockedNs += time.Since(start).Nanoseconds()
 
 	// Tell every receiver how many messages we sent it in the epoch that
 	// just ended.
@@ -499,6 +563,7 @@ func (l *Layer) ServiceControl() {
 	if !l.active() {
 		return
 	}
+	l.pollFlush()
 	l.drainControl()
 	if l.init != nil {
 		l.maybeInitiate(false)
@@ -518,6 +583,7 @@ func (l *Layer) ServiceControlUntil(stop func() bool) {
 	}
 	for {
 		l.raiseIfCanceled()
+		l.pollFlush()
 		l.drainControl()
 		// Completion is checked between draining and initiating: queued
 		// control traffic is always handled, but the initiator must not
@@ -530,7 +596,12 @@ func (l *Layer) ServiceControlUntil(stop func() bool) {
 		if l.init != nil {
 			l.maybeInitiate(false)
 		}
-		wake := stop
+		// A finished flush must wake the rank too: its stoppedLogging
+		// report (and so the initiator's commit) would otherwise wait for
+		// unrelated traffic. The flusher interrupts the world on
+		// completion, and this condition turns the interrupt into a loop
+		// iteration.
+		wake := func() bool { return stop() || l.flushReady() }
 		var timer *time.Timer
 		if l.init != nil && l.cfg.Interval > 0 && !l.init.inProgress {
 			// The interval trigger must fire even with no inbound traffic;
@@ -539,7 +610,8 @@ func (l *Layer) ServiceControlUntil(stop func() bool) {
 			deadline := l.init.lastStart.Add(l.cfg.Interval)
 			world := l.comm.World()
 			timer = time.AfterFunc(time.Until(deadline), world.Interrupt)
-			wake = func() bool { return stop() || !time.Now().Before(deadline) }
+			base := wake
+			wake = func() bool { return base() || !time.Now().Before(deadline) }
 		}
 		idx, m := l.comm.SelectWait(controlSpecs, wake)
 		if timer != nil {

@@ -2,9 +2,11 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 
+	"ccift/internal/ckpt"
 	"ccift/internal/storage"
 )
 
@@ -13,6 +15,13 @@ import (
 // Section 5.2 (outstanding request records, persistent-object call log),
 // and the application state of Section 5.1 (PS + VDS + heap, produced by
 // ckpt.Saver).
+//
+// The write path is split in two, which is what makes the asynchronous
+// pipeline possible: captureState copies everything the checkpoint needs
+// while the rank is stopped (protocol counters plus a ckpt.Frozen view of
+// the application state — O(live-state-copy)); writeState serializes the
+// capture and streams it through the store's chunked writer, either inline
+// (sync mode) or on the background flusher.
 
 type reqRecord struct {
 	Handle Handle
@@ -31,32 +40,98 @@ type checkpointState struct {
 	App      []byte // empty in NoAppState mode
 }
 
-func (l *Layer) marshalState() ([]byte, error) {
-	st := checkpointState{
-		Epoch:    l.epoch,
-		EarlyIDs: l.earlyIDs,
-		Persist:  l.persist,
+// pendingCheckpoint is one captured-but-not-yet-durable local checkpoint.
+type pendingCheckpoint struct {
+	epoch  int
+	hdr    checkpointState // App nil; the app section is streamed from frozen
+	frozen *ckpt.Frozen    // nil outside Full mode
+}
+
+// stateMagicV2 marks the streamed state-blob layout: magic, uvarint-framed
+// gob protocol header, then the raw application-state stream. (Legacy
+// blobs are a bare gob of checkpointState; unmarshalState reads both.)
+var stateMagicV2 = []byte("C3SB0002")
+
+// captureState is the blocking half of a local checkpoint: it copies the
+// protocol section and freezes the application state. No serialization or
+// storage I/O happens here.
+func (l *Layer) captureState() (*pendingCheckpoint, error) {
+	p := &pendingCheckpoint{epoch: l.epoch}
+	p.hdr = checkpointState{
+		Epoch: l.epoch,
+		// The outer slices are re-pointed (earlyIDs) or appended to
+		// (persist) after the capture, so they are copied; the inner data
+		// is never mutated once recorded.
+		EarlyIDs: append([][]uint32(nil), l.earlyIDs...),
+		Persist:  append([]PersistRecord(nil), l.persist...),
 		NextReq:  l.handles.nextReq,
 	}
 	for h, r := range l.handles.reqs {
-		st.Requests = append(st.Requests, reqRecord{Handle: h, IsRecv: r.isRecv, Src: r.src, Tag: r.tag, Done: r.done})
+		p.hdr.Requests = append(p.hdr.Requests, reqRecord{Handle: h, IsRecv: r.isRecv, Src: r.src, Tag: r.tag, Done: r.done})
 	}
 	if l.cfg.Mode == Full {
-		app, err := l.Saver.Snapshot()
+		f, err := l.Saver.Freeze()
 		if err != nil {
 			return nil, err
 		}
-		st.App = app
+		p.frozen = f
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
-		return nil, fmt.Errorf("protocol: encode checkpoint state: %w", err)
+	return p, nil
+}
+
+// writeState serializes a captured checkpoint and streams it into the
+// store through the chunked writer. It runs on the flusher goroutine in
+// async mode, so it must not touch any mutable Layer state — only the
+// immutable cfg/rank and the capture itself. It reports the logical blob
+// size and the bytes actually written (dedup savings excluded).
+func (l *Layer) writeState(p *pendingCheckpoint) (total, written int64, err error) {
+	// However the write ends, the frozen slabs go back to the Saver's pool:
+	// the protocol admits no new checkpoint until this one is integrated,
+	// so the next Freeze — which reuses them — cannot have begun yet.
+	defer p.frozen.Release()
+	var hdr bytes.Buffer
+	hdr.Write(stateMagicV2)
+	var gb bytes.Buffer
+	if err := gob.NewEncoder(&gb).Encode(&p.hdr); err != nil {
+		return 0, 0, fmt.Errorf("protocol: encode checkpoint state: %w", err)
 	}
-	return buf.Bytes(), nil
+	var tmp [binary.MaxVarintLen64]byte
+	hdr.Write(tmp[:binary.PutUvarint(tmp[:], uint64(gb.Len()))])
+	hdr.Write(gb.Bytes())
+
+	w := l.cfg.Store.StateWriter(l.cfg.Ctx, p.epoch, l.rank, l.cfg.ChunkSize)
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return 0, 0, err
+	}
+	// Cut after the header: its size varies epoch to epoch, and the cut
+	// keeps that variation from shifting the application stream's chunk
+	// boundaries (which would defeat cross-epoch dedup).
+	if err := w.Cut(); err != nil {
+		return 0, 0, err
+	}
+	if p.frozen != nil {
+		if err := p.frozen.WriteTo(w); err != nil {
+			return 0, 0, err
+		}
+	}
+	return w.Commit()
 }
 
 func unmarshalState(raw []byte) (*checkpointState, error) {
 	var st checkpointState
+	if bytes.HasPrefix(raw, stateMagicV2) {
+		rd := bytes.NewReader(raw[len(stateMagicV2):])
+		n, err := binary.ReadUvarint(rd)
+		if err != nil || uint64(rd.Len()) < n {
+			return nil, fmt.Errorf("protocol: corrupt checkpoint state header")
+		}
+		off := len(raw) - rd.Len()
+		if err := gob.NewDecoder(bytes.NewReader(raw[off : off+int(n)])).Decode(&st); err != nil {
+			return nil, fmt.Errorf("protocol: decode checkpoint state: %w", err)
+		}
+		st.App = raw[off+int(n):]
+		return &st, nil
+	}
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("protocol: decode checkpoint state: %w", err)
 	}

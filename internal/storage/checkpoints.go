@@ -1,9 +1,12 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // CheckpointStore layers the checkpoint naming scheme and the initiator's
@@ -30,14 +33,36 @@ func LogKey(epoch, rank int) string { return fmt.Sprintf("ckpt/%08d/log.%04d", e
 
 const commitKey = "ckpt/COMMIT"
 
-// PutState durably stores a rank's local checkpoint state for an epoch.
+// PutState durably stores a rank's local checkpoint state for an epoch as
+// one inline blob. The asynchronous pipeline streams through StateWriter
+// instead; this path remains for the blocking baselines and small states.
 func (c *CheckpointStore) PutState(epoch, rank int, data []byte) error {
 	return c.S.Put(StateKey(epoch, rank), data)
 }
 
-// GetState loads a rank's local checkpoint state for an epoch.
+// StateWriter returns a chunked streaming writer for a rank's state blob:
+// content after each Cut is stored as content-hashed chunks shared across
+// epochs and ranks, and Commit publishes the manifest under the state key.
+// ctx, when non-nil, aborts an in-flight flush between chunks.
+func (c *CheckpointStore) StateWriter(ctx context.Context, epoch, rank, chunkSize int) *ChunkedWriter {
+	return NewChunkedWriter(ctx, c.S, StateKey(epoch, rank), chunkSize)
+}
+
+// GetState loads a rank's local checkpoint state for an epoch, reassembling
+// it from chunks when the key holds a manifest.
 func (c *CheckpointStore) GetState(epoch, rank int) ([]byte, error) {
-	return c.S.Get(StateKey(epoch, rank))
+	return c.getBlob(StateKey(epoch, rank))
+}
+
+func (c *CheckpointStore) getBlob(key string) ([]byte, error) {
+	b, err := c.S.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if IsManifest(b) {
+		return Assemble(c.S, b)
+	}
+	return b, nil
 }
 
 // PutLog durably stores a rank's finalized log for an epoch.
@@ -86,4 +111,80 @@ func (c *CheckpointStore) Committed() (epoch int, ok bool, err error) {
 		return 0, false, nil
 	}
 	return int(v - 1), true, nil
+}
+
+// Prune deletes the state and log blobs of every epoch older than
+// keepEpoch, then sweeps content-hashed chunks referenced by no remaining
+// state manifest. The initiator calls it right after writing the commit
+// record for keepEpoch: recovery always starts from the newest committed
+// epoch, so older artifacts are unreachable — without pruning the store
+// grows without bound.
+//
+// Multi-process safety: Prune runs only on the initiator, between the
+// commit of keepEpoch (every rank's flush for it has completed) and the
+// next pleaseCheckpoint broadcast — so no rank is writing state or chunks
+// concurrently, and readers (recovering processes) only ever open the
+// committed epoch, which is never touched.
+func (c *CheckpointStore) Prune(keepEpoch int) error {
+	keys, err := c.S.List("ckpt/")
+	if err != nil {
+		return err
+	}
+	var chunkKeys, keptStates []string
+	for _, k := range keys {
+		if k == commitKey {
+			continue
+		}
+		if strings.HasPrefix(k, chunkPrefix) {
+			chunkKeys = append(chunkKeys, k)
+			continue
+		}
+		rest, ok := strings.CutPrefix(k, "ckpt/")
+		if !ok || len(rest) < 9 || rest[8] != '/' {
+			continue // not an epoch blob; leave foreign keys alone
+		}
+		epoch, err := strconv.Atoi(rest[:8])
+		if err != nil {
+			continue
+		}
+		if epoch < keepEpoch {
+			if err := c.S.Delete(k); err != nil {
+				return err
+			}
+			continue
+		}
+		if strings.HasPrefix(rest[9:], "state.") {
+			keptStates = append(keptStates, k)
+		}
+	}
+	// Chunk sweep: a chunk survives iff some remaining manifest references
+	// it (including manifests of epochs newer than keepEpoch).
+	referenced := make(map[string]bool)
+	for _, k := range keptStates {
+		blob, err := c.S.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		if !IsManifest(blob) {
+			continue
+		}
+		refs, err := ParseManifest(blob)
+		if err != nil {
+			return fmt.Errorf("storage: prune: %s: %w", k, err)
+		}
+		for _, r := range refs {
+			referenced[r.Key()] = true
+		}
+	}
+	for _, k := range chunkKeys {
+		if !referenced[k] {
+			if err := c.S.Delete(k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

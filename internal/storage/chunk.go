@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Chunked streaming storage: a large blob is stored as content-hashed
+// chunks plus a small manifest of chunk references under the blob's own
+// key. Chunks are addressed by their SHA-256, so a chunk whose content is
+// unchanged between two epochs (or identical across ranks) is stored once
+// and re-referenced — repeat checkpoints of mostly-unchanged state write
+// only the dirty chunks. Orphaned chunks are swept by the checkpoint
+// store's pruning pass after a commit.
+
+// DefaultChunkSize is the chunk granularity when the caller does not
+// choose one: large enough that manifest overhead is negligible, small
+// enough that a few dirty pages do not force a whole-state rewrite.
+const DefaultChunkSize = 256 << 10
+
+// chunkPrefix is the shared content-addressed chunk namespace.
+const chunkPrefix = "ckpt/chunks/"
+
+// manifestMagic marks a blob as a chunk manifest rather than inline data.
+// (Inline blobs in this store are gob or codec streams, which cannot begin
+// with these eight bytes.)
+var manifestMagic = []byte("C3CM0001")
+
+// ChunkRef names one chunk of a manifest.
+type ChunkRef struct {
+	Sum [sha256.Size]byte
+	Len int64
+}
+
+// Key returns the store key the referenced chunk lives under.
+func (r ChunkRef) Key() string { return chunkPrefix + hex.EncodeToString(r.Sum[:]) }
+
+// ChunkedWriter streams a blob into content-hashed chunks. It implements
+// io.Writer plus Cut, the dedup boundary hook: Cut closes the current
+// chunk early so that content after the boundary hashes independently of
+// content before it — serializers call it between sections and around
+// large values. Commit writes the manifest under the writer's key.
+//
+// The writer is single-use and not safe for concurrent use.
+type ChunkedWriter struct {
+	s         Stable
+	ctx       context.Context
+	key       string
+	chunkSize int
+	buf       []byte
+	refs      []ChunkRef
+	total     int64 // logical blob bytes
+	written   int64 // bytes actually Put (manifest + dedup-missed chunks)
+	committed bool
+}
+
+// NewChunkedWriter returns a writer that stores chunks in s and, on
+// Commit, a manifest under key. chunkSize <= 0 selects DefaultChunkSize.
+// ctx, when non-nil, aborts the stream between chunk writes — a canceled
+// flush returns ctx.Err() instead of finishing a write nobody will commit.
+func NewChunkedWriter(ctx context.Context, s Stable, key string, chunkSize int) *ChunkedWriter {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &ChunkedWriter{s: s, ctx: ctx, key: key, chunkSize: chunkSize, buf: make([]byte, 0, chunkSize)}
+}
+
+// Write implements io.Writer, spilling every full chunk to the store.
+func (w *ChunkedWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		room := w.chunkSize - len(w.buf)
+		if room > len(p) {
+			room = len(p)
+		}
+		w.buf = append(w.buf, p[:room]...)
+		p = p[room:]
+		if len(w.buf) == w.chunkSize {
+			if err := w.flush(); err != nil {
+				return n - len(p), err
+			}
+		}
+	}
+	return n, nil
+}
+
+// Cut closes the current chunk (if any) at the present offset. Serializers
+// call it at section boundaries so unchanged sections re-chunk identically
+// across epochs regardless of earlier length changes.
+func (w *ChunkedWriter) Cut() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	return w.flush()
+}
+
+func (w *ChunkedWriter) flush() error {
+	if w.ctx != nil {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	sum := sha256.Sum256(w.buf)
+	ref := ChunkRef{Sum: sum, Len: int64(len(w.buf))}
+	ok, err := Has(w.s, ref.Key())
+	if err != nil {
+		return fmt.Errorf("storage: probe chunk: %w", err)
+	}
+	if !ok {
+		if err := w.s.Put(ref.Key(), w.buf); err != nil {
+			return fmt.Errorf("storage: put chunk: %w", err)
+		}
+		w.written += ref.Len
+	}
+	w.total += ref.Len
+	w.refs = append(w.refs, ref)
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Commit flushes the final partial chunk and durably stores the manifest
+// under the writer's key. It reports the logical blob size and the bytes
+// actually written to the store (chunks that deduplicated against existing
+// content cost nothing).
+func (w *ChunkedWriter) Commit() (total, written int64, err error) {
+	if w.committed {
+		return 0, 0, fmt.Errorf("storage: ChunkedWriter for %s committed twice", w.key)
+	}
+	if err := w.Cut(); err != nil {
+		return 0, 0, err
+	}
+	man := MarshalManifest(w.refs)
+	if err := w.s.Put(w.key, man); err != nil {
+		return 0, 0, fmt.Errorf("storage: put manifest: %w", err)
+	}
+	w.committed = true
+	w.written += int64(len(man))
+	return w.total, w.written, nil
+}
+
+// MarshalManifest encodes chunk references as a manifest blob.
+func MarshalManifest(refs []ChunkRef) []byte {
+	var buf bytes.Buffer
+	buf.Write(manifestMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(refs)))])
+	for _, r := range refs {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(r.Len))])
+		buf.Write(r.Sum[:])
+	}
+	return buf.Bytes()
+}
+
+// IsManifest reports whether blob is a chunk manifest.
+func IsManifest(blob []byte) bool { return bytes.HasPrefix(blob, manifestMagic) }
+
+// ParseManifest decodes a manifest blob.
+func ParseManifest(blob []byte) ([]ChunkRef, error) {
+	if !IsManifest(blob) {
+		return nil, fmt.Errorf("storage: not a chunk manifest")
+	}
+	rd := bytes.NewReader(blob[len(manifestMagic):])
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("storage: corrupt manifest: %w", err)
+	}
+	if n > uint64(rd.Len()) { // each ref is > 1 byte; cheap sanity bound
+		return nil, fmt.Errorf("storage: corrupt manifest: %d refs in %d bytes", n, rd.Len())
+	}
+	refs := make([]ChunkRef, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("storage: corrupt manifest: %w", err)
+		}
+		var r ChunkRef
+		r.Len = int64(l)
+		if _, err := io.ReadFull(rd, r.Sum[:]); err != nil {
+			return nil, fmt.Errorf("storage: corrupt manifest: truncated ref")
+		}
+		refs = append(refs, r)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("storage: corrupt manifest: %d trailing bytes", rd.Len())
+	}
+	return refs, nil
+}
+
+// Assemble reassembles a chunked blob from its manifest, verifying each
+// chunk's length and content hash (a torn or swept chunk must surface as
+// an error, never as silently corrupt state).
+func Assemble(s Stable, manifest []byte) ([]byte, error) {
+	refs, err := ParseManifest(manifest)
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	for _, r := range refs {
+		size += r.Len
+	}
+	out := make([]byte, 0, size)
+	for _, r := range refs {
+		chunk, err := s.Get(r.Key())
+		if err != nil {
+			return nil, fmt.Errorf("storage: assemble: %w", err)
+		}
+		if int64(len(chunk)) != r.Len {
+			return nil, fmt.Errorf("storage: assemble: chunk %s is %d bytes, manifest says %d", r.Key(), len(chunk), r.Len)
+		}
+		if sha256.Sum256(chunk) != r.Sum {
+			return nil, fmt.Errorf("storage: assemble: chunk %s fails content verification", r.Key())
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

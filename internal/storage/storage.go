@@ -35,6 +35,28 @@ type Stable interface {
 	List(prefix string) ([]string, error)
 }
 
+// hasProber is the optional existence probe: implementations that can
+// answer "is key present?" cheaper than a full Get (all in-tree stores)
+// provide it; Has falls back to Get for external Stable implementations,
+// which keeps the v1 ccift.Stable surface source-compatible.
+type hasProber interface {
+	Has(key string) (bool, error)
+}
+
+// Has reports whether a blob exists under key, via the store's fast probe
+// when it has one and a Get otherwise. The chunked writer's dedup check
+// goes through here.
+func Has(s Stable, key string) (bool, error) {
+	if h, ok := s.(hasProber); ok {
+		return h.Has(key)
+	}
+	_, err := s.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
 // Memory is an in-memory Stable implementation for tests and benchmarks
 // that want to exclude I/O cost.
 type Memory struct {
@@ -73,6 +95,14 @@ func (m *Memory) Get(key string) ([]byte, error) {
 	cp := make([]byte, len(b))
 	copy(cp, b)
 	return cp, nil
+}
+
+// Has implements the optional fast existence probe.
+func (m *Memory) Has(key string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.blobs[key]
+	return ok, nil
 }
 
 // Delete implements Stable.
@@ -213,6 +243,15 @@ func (d *Disk) Get(key string) ([]byte, error) {
 	return b, err
 }
 
+// Has implements the optional fast existence probe.
+func (d *Disk) Has(key string) (bool, error) {
+	_, err := os.Stat(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
 // Delete implements Stable.
 func (d *Disk) Delete(key string) error {
 	p := d.path(key)
@@ -285,6 +324,11 @@ func (t *Throttled) Put(key string, data []byte) error {
 
 // Get implements Stable.
 func (t *Throttled) Get(key string) ([]byte, error) { return t.Inner.Get(key) }
+
+// Has probes the inner store; probing costs no bandwidth, so it is never
+// throttled — which is exactly how chunk dedup saves wall-clock time on a
+// slow disk.
+func (t *Throttled) Has(key string) (bool, error) { return Has(t.Inner, key) }
 
 // Delete implements Stable.
 func (t *Throttled) Delete(key string) error { return t.Inner.Delete(key) }

@@ -96,12 +96,14 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 		// This process is one spawned rank: run the worker role with the
 		// same spec the launcher-side call site built, and never return.
 		launch.WorkerMain(launch.WorkerApp{
-			Prog:     prog,
-			EveryN:   cfg.EveryN,
-			Interval: cfg.Interval,
-			Seed:     cfg.Seed,
-			Debug:    cfg.Debug,
-			Mode:     cfg.Mode,
+			Prog:           prog,
+			EveryN:         cfg.EveryN,
+			Interval:       cfg.Interval,
+			Seed:           cfg.Seed,
+			Debug:          cfg.Debug,
+			Mode:           cfg.Mode,
+			SyncCheckpoint: cfg.SyncCheckpoint,
+			ChunkSize:      cfg.ChunkSize,
 		})
 	}
 	kills := make([]launch.KillSpec, len(cfg.Failures))

@@ -68,6 +68,22 @@ func WithSeed(seed int64) Option { return func(s *Spec) { s.cfg.Seed = seed } }
 // WithDebug enables protocol assertions.
 func WithDebug() Option { return func(s *Spec) { s.cfg.Debug = true } }
 
+// WithAsyncCheckpoint toggles the asynchronous checkpoint pipeline, which
+// is on by default: a checkpoint blocks the rank only to freeze a copy of
+// its live state, and serialization plus the durable (chunked,
+// content-deduplicated) write overlap continued computation on a
+// background flusher. The commit record still waits for every rank's
+// flush, so crash-recovery semantics are identical. Pass false to restore
+// the classic stop-serialize-fsync path (the Figure 8 baselines).
+func WithAsyncCheckpoint(enabled bool) Option {
+	return func(s *Spec) { s.cfg.SyncCheckpoint = !enabled }
+}
+
+// WithChunkSize sets the chunk granularity (bytes) of the content-hashed
+// state writer; unchanged chunks are re-referenced instead of re-written
+// across epochs. Zero selects the default (256 KiB).
+func WithChunkSize(n int) Option { return func(s *Spec) { s.cfg.ChunkSize = n } }
+
 // WithTracer streams protocol events from every rank (in-process substrate
 // only; the recorder lives in this process).
 func WithTracer(t Tracer) Option { return func(s *Spec) { s.cfg.Tracer = t } }
