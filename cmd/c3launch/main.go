@@ -44,6 +44,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the job after this long (0: no deadline)")
 	verbose := flag.Bool("v", false, "log spawn/exit events")
 	syncCkpt := flag.Bool("sync", false, "blocking checkpoint writes (the Figure 8 baseline) instead of the async pipeline")
+	incremental := flag.Bool("incremental", false, "dirty-region freeze: copy only regions the app touched since the last checkpoint (the bundled apps honor the Touch contract)")
 	var kills apps.KillFlag
 	flag.Var(&kills, "kill", "rank@op real-SIGKILL failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
@@ -66,6 +67,7 @@ func main() {
 		ccift.WithSeed(*seed),
 		ccift.WithMaxRestarts(*maxRestarts),
 		ccift.WithAsyncCheckpoint(!*syncCkpt),
+		ccift.WithIncrementalFreeze(*incremental),
 		ccift.WithDistributed(ccift.Distributed{
 			StoreDir:        *storeDir,
 			DetectorTimeout: *detector,

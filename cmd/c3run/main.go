@@ -43,6 +43,7 @@ func main() {
 	traceOut := flag.Bool("trace", false, "print a space-time diagram of protocol events")
 	distributed := flag.Bool("distributed", false, "run each rank as its own OS process over TCP (kills become real SIGKILLs)")
 	syncCkpt := flag.Bool("sync", false, "blocking checkpoint writes (the Figure 8 baseline) instead of the async pipeline")
+	incremental := flag.Bool("incremental", false, "dirty-region freeze: copy only regions the app touched since the last checkpoint (the bundled apps honor the Touch contract)")
 	var kills apps.KillFlag
 	flag.Var(&kills, "kill", "rank@op stopping failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		ccift.WithMode(ccift.Full),
 		ccift.WithFailures(kills...),
 		ccift.WithAsyncCheckpoint(!*syncCkpt),
+		ccift.WithIncrementalFreeze(*incremental),
 	}
 	if intv > 0 {
 		opts = append(opts, ccift.WithInterval(intv))
@@ -125,6 +127,9 @@ func main() {
 			total.BytesSent += s.BytesSent
 			total.CheckpointsTaken += s.CheckpointsTaken
 			total.CheckpointBytes += s.CheckpointBytes
+			total.CheckpointBytesCopied += s.CheckpointBytesCopied
+			total.CheckpointRegionsDirty += s.CheckpointRegionsDirty
+			total.CheckpointRegions += s.CheckpointRegions
 			total.LateLogged += s.LateLogged
 			total.LogBytes += s.LogBytes
 			total.ReplayedLate += s.ReplayedLate
@@ -135,6 +140,11 @@ func main() {
 			total.CheckpointsTaken, apps.HumanBytes(total.CheckpointBytes),
 			total.LateLogged, apps.HumanBytes(total.LogBytes),
 			total.ReplayedLate, total.SuppressedSends)
+		if *incremental && total.CheckpointRegions > 0 {
+			fmt.Printf("incremental: %s copied into frozen views (%s logical), %d/%d regions dirty across checkpoints\n",
+				apps.HumanBytes(total.CheckpointBytesCopied), apps.HumanBytes(total.CheckpointBytes),
+				total.CheckpointRegionsDirty, total.CheckpointRegions)
+		}
 	}
 	if rec != nil {
 		fmt.Printf("\nprotocol event summary:\n%s", rec.Summary())

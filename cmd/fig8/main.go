@@ -12,16 +12,30 @@
 //	fig8 -app cg            # one chart
 //	fig8 -scale paper       # the paper's problem-size regime (slow)
 //	fig8 -ranks 16 -repeats 3
+//	fig8 -distributed       # each cell as real OS processes over TCP
+//	fig8 -distributed -short -app laplace   # the CI smoke path
+//
+// With -distributed every cell spawns one worker process per rank over a
+// full TCP mesh (the launcher re-execs this binary; the -w* flags are the
+// worker-side cell parameters and not meant for direct use), so the
+// paper's overhead curves exist for real processes, not just goroutines.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"time"
 
+	"ccift/internal/apps"
 	"ccift/internal/harness"
+	"ccift/internal/launch"
+	"ccift/internal/protocol"
 )
 
 func main() {
@@ -30,13 +44,32 @@ func main() {
 	repeats := flag.Int("repeats", 3, "repetitions per cell; the best run is reported")
 	scaleName := flag.String("scale", "quick", "problem scale: quick or paper")
 	verdicts := flag.Bool("verdicts", true, "print Section 6.2 shape verdicts")
+	distributed := flag.Bool("distributed", false, "run each cell as one OS process per rank over TCP (the paper's curves on the real-process substrate)")
+	short := flag.Bool("short", false, "one tiny size per chart, single repeat, no verdicts: the CI smoke path")
+	// Worker-side cell parameters: set by the -distributed launcher when it
+	// re-execs this binary, never by hand.
+	wapp := flag.String("wapp", "", "internal: worker cell application")
+	wranks := flag.Int("wranks", 1, "internal: worker cell world size")
+	wsize := flag.Int("wsize", 0, "internal: worker cell problem size")
+	witers := flag.Int("witers", 0, "internal: worker cell iterations")
+	wevery := flag.Int("wevery", 0, "internal: worker cell checkpoint trigger")
+	wmode := flag.String("wmode", "", "internal: worker cell protocol mode")
 	flag.Parse()
 
+	if launch.IsWorker() {
+		workerMain(*wapp, *wranks, *wsize, *witers, *wevery, *wmode)
+	}
+
 	var scale harness.Scale
-	switch *scaleName {
-	case "quick":
+	switch {
+	case *short:
+		scale = harness.Smoke
+		*repeats = 1
+		// Shape verdicts compare sizes; a single smoke size has none.
+		*verdicts = false
+	case *scaleName == "quick":
 		scale = harness.Quick
-	case "paper":
+	case *scaleName == "paper":
 		scale = harness.Paper
 	default:
 		fmt.Fprintf(os.Stderr, "fig8: unknown scale %q\n", *scaleName)
@@ -63,10 +96,36 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	exe := ""
+	if *distributed {
+		var err error
+		exe, err = os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig8: resolve worker binary: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fig8: distributed substrate — %d worker processes per cell over TCP\n", *ranks)
+		if *verdicts {
+			// Cell timings include a near-constant launcher cost (process
+			// spawn, mesh formation, store setup) that deflates the
+			// overhead ratios the Section 6.2 thresholds were written
+			// for; the distributed sweep is for checksum agreement and
+			// absolute curves, not shape verdicts.
+			fmt.Println("fig8: -distributed timings include per-cell launch cost; skipping shape verdicts")
+			*verdicts = false
+		}
+	}
+
 	failed := false
 	for _, e := range exps {
 		e.Repeats = *repeats
-		table, err := e.RunContext(ctx)
+		var table *harness.Table
+		var err error
+		if *distributed {
+			table, err = e.RunContextWith(ctx, distributedRunner(exe, e.App, *ranks))
+		} else {
+			table, err = e.RunContext(ctx)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig8: %s: %v\n", e.App, err)
 			os.Exit(1)
@@ -90,4 +149,74 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// distributedRunner runs one cell as a real distributed job: this binary
+// re-exec'd as one worker process per rank, full TCP mesh, shared on-disk
+// store under a scratch directory the launcher cleans up. The checksum is
+// rank 0's result line, so ChecksumsAgree still proves the four versions
+// chart the same computation.
+func distributedRunner(exe, app string, ranks int) harness.CellRunner {
+	return func(ctx context.Context, size harness.Size, mode protocol.Mode) (harness.Cell, error) {
+		args := []string{
+			"-wapp", app,
+			"-wranks", strconv.Itoa(ranks),
+			"-wsize", strconv.Itoa(size.Arg),
+			"-witers", strconv.Itoa(size.Iters),
+			"-wevery", strconv.Itoa(size.EveryN),
+			"-wmode", mode.String(),
+		}
+		start := time.Now()
+		res, err := launch.RunContext(ctx, launch.Config{
+			Exe:   exe,
+			Args:  args,
+			Ranks: ranks,
+			// Worker stderr is noise in a sweep (hundreds of clean ranks);
+			// hard failures still surface through the launcher's error.
+			Stderr: io.Discard,
+		})
+		if err != nil {
+			return harness.Cell{}, fmt.Errorf("distributed cell: %w", err)
+		}
+		elapsed := time.Since(start).Seconds()
+		checksum := ""
+		for _, line := range strings.Split(res.Output, "\n") {
+			if v, ok := strings.CutPrefix(line, "result: "); ok {
+				checksum = v
+				break
+			}
+		}
+		if checksum == "" {
+			return harness.Cell{}, fmt.Errorf("distributed cell: no result line in rank 0 output %q", res.Output)
+		}
+		// Per-rank protocol stats do not cross the process boundary, so
+		// the checkpoint-volume columns stay zero on this substrate.
+		return harness.Cell{Mode: mode, Seconds: elapsed, Checksum: checksum}, nil
+	}
+}
+
+// workerMain is the re-exec'd worker role of a -distributed sweep: rebuild
+// the cell's program from the -w* flags and hand it to the launch worker
+// protocol. Never returns.
+func workerMain(app string, ranks, size, iters, every int, modeName string) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "fig8 worker: %v\n", err)
+		os.Exit(1)
+	}
+	mode, err := harness.ParseMode(modeName)
+	if err != nil {
+		fail(err)
+	}
+	prog, _, err := apps.Build(app, ranks, size, iters)
+	if err != nil {
+		fail(err)
+	}
+	launch.WorkerMain(launch.WorkerApp{
+		Prog:   prog,
+		EveryN: every,
+		Mode:   mode,
+		// The sweep measures the paper's blocking checkpoint semantics,
+		// exactly like the in-process harness (see Experiment.runOnce).
+		SyncCheckpoint: true,
+	})
 }

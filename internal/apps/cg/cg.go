@@ -147,6 +147,10 @@ func Program(p Params) engine.Program {
 			for i := range dir {
 				dir[i] = res[i] + beta*dir[i]
 			}
+			// Write intent for incremental freeze: the iteration updated
+			// every vector except the (read-only) matrix block; rs is a
+			// scalar and needs no touch. Harmless when tracking is off.
+			r.Touch("x", "res", "dir", "q")
 		}
 
 		// Global checksum of the solution: Σx and ‖x‖².

@@ -109,6 +109,10 @@ func Program(p Params) engine.Program {
 			// The VDS holds pointers to the slice variables themselves, so
 			// the buffer swap is checkpointed transparently.
 			grid, next = next, grid
+			// Write intent for incremental freeze: both buffers changed
+			// this iteration (ghost rows into one, the sweep into the
+			// other, then the swap). Harmless when dirty tracking is off.
+			r.Touch("grid", "next")
 		}
 
 		local := 0.0

@@ -117,6 +117,9 @@ func Program(p Params) engine.Program {
 			for i := range v {
 				v[i] += p.Dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
 			}
+			// Write intent for incremental freeze: only the membrane block
+			// changes per step (drive is read-only after initialization).
+			r.Touch("v")
 			// … a fifth allgather publishes the updated state, and the
 			// root gathers per-block activity statistics.
 			full = r.AllgatherF64(v)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Checkpoint freezing: the blocking half of the asynchronous checkpoint
@@ -16,6 +17,18 @@ import (
 // frozen view, typically on a background flusher goroutine, while the rank
 // computes on. The serialized byte stream is identical to Saver.Snapshot's,
 // so restore is oblivious to which path produced a checkpoint.
+//
+// With Saver.Incremental set, Freeze goes one step further: a region (VDS
+// variable or heap block) whose write clock has not moved since the
+// previous Freeze is not copied at all — the new Frozen re-references the
+// previous epoch's frozen copy, so a mostly-clean epoch blocks the rank
+// for O(dirty bytes) instead of O(state). The sharing is what the slab
+// refcounts below exist for: Frozen.Release must not hand a buffer back to
+// the pool while a newer epoch's view (or the Saver's own retention of the
+// last frozen state) still reads it. Scalar values are exempt from the
+// tracking — their copies are a few bytes, and loop counters legitimately
+// change every iteration without a Touch, so dirty-tracking them would
+// trade a free copy for a stale-counter hazard.
 
 // SectionWriter is the sink Frozen.WriteTo streams into. Cut marks a
 // dedup-friendly boundary: a chunked writer closes its current chunk there,
@@ -106,13 +119,62 @@ func (p *bufPool) putBytes(b []byte) {
 	p.mu.Unlock()
 }
 
+// slab is one pooled frozen buffer. Incremental freezes share clean
+// regions between consecutive Frozen views (and the Saver's retention of
+// the last frozen epoch), so the buffer returns to the pool only when the
+// LAST holder releases it. refs is atomic because a Frozen is released on
+// the flusher goroutine while the rank goroutine retains and releases
+// during Freeze.
+type slab struct {
+	refs atomic.Int32
+	// Exactly one of f64/byt is non-nil: the pooled buffer this slab owns.
+	f64 []float64
+	byt []byte
+}
+
+func newF64Slab(pool *bufPool, n int) *slab {
+	sl := &slab{f64: pool.getF64(n)}
+	sl.refs.Store(1)
+	return sl
+}
+
+func newByteSlab(pool *bufPool, n int) *slab {
+	sl := &slab{byt: pool.getBytes(n)}
+	sl.refs.Store(1)
+	return sl
+}
+
+func (sl *slab) retain() { sl.refs.Add(1) }
+
+func (sl *slab) release(pool *bufPool) {
+	switch n := sl.refs.Add(-1); {
+	case n == 0:
+		if sl.f64 != nil {
+			pool.putF64(sl.f64)
+		} else {
+			pool.putBytes(sl.byt)
+		}
+	case n < 0:
+		panic("ckpt: frozen slab over-released")
+	}
+}
+
 // Frozen is an immutable snapshot of a Saver's state, produced by Freeze.
 // It owns every byte it references: mutating the live application after
-// Freeze does not affect it.
+// Freeze does not affect it. (Under incremental freeze "owns" is shared
+// ownership: clean regions reference the previous epoch's slabs, kept
+// alive by their refcounts.)
 type Frozen struct {
 	trace []int
 	vds   []frozenEntry
 	heap  frozenHeap
+
+	// Copy accounting for the epoch's Stats: bytes memcopied into this
+	// view, and how many of the regions (VDS entries + heap blocks) were
+	// captured rather than re-referenced.
+	copied  int64
+	dirty   int
+	regions int
 
 	pool     *bufPool // origin Saver's slab pool; nil for pool-less freezes
 	released bool
@@ -128,6 +190,11 @@ type frozenEntry struct {
 	enc  []byte
 	ptr  any
 	size int // encoded value size (the writeBytes payload length)
+	// gen is the live entry's write-clock stamp at capture; slab is the
+	// refcounted pool buffer behind ptr for the pooled types (nil for
+	// non-pooled copies, which the GC manages).
+	gen  uint64
+	slab *slab
 }
 
 type frozenHeap struct {
@@ -138,48 +205,136 @@ type frozenHeap struct {
 type frozenBlock struct {
 	id   int
 	data []byte
+	gen  uint64
+	slab *slab
 }
 
 // Freeze captures an immutable snapshot of the Saver's current state. The
 // cost is one copy of the live bytes (plus immediate encoding for values
 // outside the codec's fast paths and fingerprinting for computed entries);
-// no serialization or storage I/O happens here.
+// no serialization or storage I/O happens here. With s.Incremental set,
+// regions untouched since the previous Freeze are re-referenced from it
+// instead of copied — see the Touch contract on VDS.Touch and Heap.Touch.
 func (s *Saver) Freeze() (*Frozen, error) {
-	vds, err := s.VDS.freeze(&s.pool)
+	f := &Frozen{trace: s.PS.Snapshot(), pool: &s.pool}
+	var prevVDS map[string]frozenEntry
+	var prevHeap map[int]frozenBlock
+	if s.Incremental {
+		prevVDS, prevHeap = s.lastVDS, s.lastHeap
+	}
+	vds, err := s.VDS.freeze(&s.pool, prevVDS, f)
 	if err != nil {
 		return nil, err
 	}
-	return &Frozen{trace: s.PS.Snapshot(), vds: vds, heap: s.Heap.freeze(&s.pool), pool: &s.pool}, nil
+	f.vds = vds
+	f.heap = s.Heap.freeze(&s.pool, prevHeap, f)
+	if s.Incremental {
+		s.retainFrozen(f)
+	}
+	return f, nil
+}
+
+// CopyStats reports what Freeze actually moved: the bytes memcopied into
+// the view, and how many of its regions (VDS entries + heap blocks) were
+// captured rather than re-referenced from the previous epoch. For a full
+// freeze every region is captured; the gap between bytesCopied here and
+// StateBytes is the incremental win.
+func (f *Frozen) CopyStats() (bytesCopied int64, regionsDirty, regions int) {
+	return f.copied, f.dirty, f.regions
+}
+
+// retainFrozen replaces the Saver's record of the last frozen epoch with
+// f's regions, taking a retention reference on every pooled slab so the
+// buffers survive f's Release for the next epoch's Freeze to share.
+func (s *Saver) retainFrozen(f *Frozen) {
+	s.dropRetained()
+	s.lastVDS = make(map[string]frozenEntry, len(f.vds))
+	for _, fe := range f.vds {
+		if fe.slab != nil {
+			fe.slab.retain()
+		}
+		s.lastVDS[fe.name] = fe
+	}
+	s.lastHeap = make(map[int]frozenBlock, len(f.heap.blocks))
+	for _, fb := range f.heap.blocks {
+		if fb.slab != nil {
+			fb.slab.retain()
+		}
+		s.lastHeap[fb.id] = fb
+	}
+}
+
+// dropRetained releases the Saver's retention references on the last
+// frozen epoch's slabs (retainFrozen's replacement path, and StartRestore:
+// restored live state shares no history with any previous freeze).
+func (s *Saver) dropRetained() {
+	for _, fe := range s.lastVDS {
+		if fe.slab != nil {
+			fe.slab.release(&s.pool)
+		}
+	}
+	for _, fb := range s.lastHeap {
+		if fb.slab != nil {
+			fb.slab.release(&s.pool)
+		}
+	}
+	s.lastVDS, s.lastHeap = nil, nil
 }
 
 // Release returns the frozen view's large slabs to the originating Saver's
 // pool, so the next epoch's Freeze reuses them. Callers invoke it once the
 // serialized bytes are durable (or the flush has been abandoned); the
-// Frozen must not be read afterwards. Safe on nil and idempotent.
+// Frozen must not be read afterwards. Safe on nil and idempotent. A slab
+// shared with a newer epoch's view (incremental freeze) is refcounted and
+// survives until its last holder releases it.
 func (f *Frozen) Release() {
 	if f == nil || f.pool == nil || f.released {
 		return
 	}
 	f.released = true
 	for i := range f.vds {
-		switch p := f.vds[i].ptr.(type) {
-		case *[]float64:
-			f.pool.putF64(*p)
-		case *[]byte:
-			f.pool.putBytes(*p)
+		if sl := f.vds[i].slab; sl != nil {
+			sl.release(f.pool)
 		}
-		f.vds[i].ptr, f.vds[i].enc = nil, nil
+		f.vds[i].ptr, f.vds[i].enc, f.vds[i].slab = nil, nil, nil
 	}
 	for i := range f.heap.blocks {
-		f.pool.putBytes(f.heap.blocks[i].data)
-		f.heap.blocks[i].data = nil
+		if sl := f.heap.blocks[i].slab; sl != nil {
+			sl.release(f.pool)
+		}
+		f.heap.blocks[i].data, f.heap.blocks[i].slab = nil, nil
 	}
 }
 
-func (v *VDS) freeze(pool *bufPool) ([]frozenEntry, error) {
+// scalarPtr reports whether ptr is one of the always-recaptured scalar
+// types. Their copies are a few bytes, and counters legitimately change
+// every iteration without a Touch, so dirty-tracking them would trade a
+// free copy for a stale-state hazard.
+func scalarPtr(ptr any) bool {
+	switch ptr.(type) {
+	case *int, *int64, *uint64, *float64, *bool, *string:
+		return true
+	}
+	return false
+}
+
+// freeze captures the VDS section into f. With a non-nil prev map
+// (incremental mode), a non-scalar entry whose write-clock stamp matches
+// the previous epoch's capture is re-referenced instead of copied.
+func (v *VDS) freeze(pool *bufPool, prev map[string]frozenEntry, f *Frozen) ([]frozenEntry, error) {
 	out := make([]frozenEntry, 0, len(v.entries))
 	for _, e := range v.entries {
-		fe := frozenEntry{name: e.name, kind: e.kind}
+		f.regions++
+		if prev != nil && !scalarPtr(e.ptr) {
+			if pe, ok := prev[e.name]; ok && pe.gen == e.gen && pe.kind == e.kind {
+				if pe.slab != nil {
+					pe.slab.retain()
+				}
+				out = append(out, pe)
+				continue
+			}
+		}
+		fe := frozenEntry{name: e.name, kind: e.kind, gen: e.gen}
 		switch e.kind {
 		case kindSaved:
 			if err := fe.captureValue(e.ptr, e.name, pool); err != nil {
@@ -201,14 +356,16 @@ func (v *VDS) freeze(pool *bufPool) ([]frozenEntry, error) {
 		default:
 			return nil, fmt.Errorf("ckpt: entry %q has invalid kind %d", e.name, e.kind)
 		}
+		f.dirty++
+		f.copied += int64(fe.size)
 		out = append(out, fe)
 	}
 	return out, nil
 }
 
 func (fe *frozenEntry) captureValue(ptr any, name string, pool *bufPool) error {
-	if owned, size, ok := copyValue(ptr, pool); ok {
-		fe.ptr, fe.size = owned, size
+	if owned, sl, size, ok := copyValue(ptr, pool); ok {
+		fe.ptr, fe.slab, fe.size = owned, sl, size
 		return nil
 	}
 	raw, err := Encode(ptr)
@@ -219,12 +376,24 @@ func (fe *frozenEntry) captureValue(ptr any, name string, pool *bufPool) error {
 	return nil
 }
 
-func (h *Heap) freeze(pool *bufPool) frozenHeap {
+// freeze captures the heap section into f, sharing clean blocks from the
+// previous epoch's capture exactly as VDS.freeze shares clean entries.
+func (h *Heap) freeze(pool *bufPool, prev map[int]frozenBlock, f *Frozen) frozenHeap {
 	blocks := make([]frozenBlock, 0, len(h.blocks))
 	for id, b := range h.blocks {
-		data := pool.getBytes(len(b.Data))
-		copy(data, b.Data)
-		blocks = append(blocks, frozenBlock{id: id, data: data})
+		f.regions++
+		if prev != nil {
+			if pb, ok := prev[id]; ok && pb.gen == b.gen {
+				pb.slab.retain()
+				blocks = append(blocks, pb)
+				continue
+			}
+		}
+		sl := newByteSlab(pool, len(b.Data))
+		copy(sl.byt, b.Data)
+		blocks = append(blocks, frozenBlock{id: id, data: sl.byt, gen: b.gen, slab: sl})
+		f.dirty++
+		f.copied += int64(len(b.Data))
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].id < blocks[j].id })
 	return frozenHeap{next: h.nextID, blocks: blocks}
@@ -233,42 +402,43 @@ func (h *Heap) freeze(pool *bufPool) frozenHeap {
 // copyValue returns an owned deep copy of the pointed-to value together
 // with its encoded size, for the codec's fast-path types. ok is false for
 // types that need the gob fallback (those are encoded at freeze time).
-// The large slab types draw their copies from pool; Frozen.Release returns
-// them for the next epoch.
-func copyValue(ptr any, pool *bufPool) (owned any, size int, ok bool) {
+// The large slab types draw their copies from pool and report the
+// refcounted slab that owns the buffer; Frozen.Release returns it for the
+// next epoch once the last sharer is done.
+func copyValue(ptr any, pool *bufPool) (owned any, sl *slab, size int, ok bool) {
 	switch p := ptr.(type) {
 	case *int:
 		v := *p
-		return &v, 9, true
+		return &v, nil, 9, true
 	case *int64:
 		v := *p
-		return &v, 9, true
+		return &v, nil, 9, true
 	case *uint64:
 		v := *p
-		return &v, 9, true
+		return &v, nil, 9, true
 	case *float64:
 		v := *p
-		return &v, 9, true
+		return &v, nil, 9, true
 	case *bool:
 		v := *p
-		return &v, 2, true
+		return &v, nil, 2, true
 	case *string:
 		v := *p // strings are immutable; sharing is a safe copy
-		return &v, 1 + uvarintLen(uint64(len(v))) + len(v), true
+		return &v, nil, 1 + uvarintLen(uint64(len(v))) + len(v), true
 	case *[]byte:
-		cp := pool.getBytes(len(*p))
-		copy(cp, *p)
-		return &cp, 1 + uvarintLen(uint64(len(cp))) + len(cp), true
+		sl := newByteSlab(pool, len(*p))
+		copy(sl.byt, *p)
+		return &sl.byt, sl, 1 + uvarintLen(uint64(len(sl.byt))) + len(sl.byt), true
 	case *[]float64:
-		cp := pool.getF64(len(*p))
-		copy(cp, *p)
-		return &cp, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
+		sl := newF64Slab(pool, len(*p))
+		copy(sl.f64, *p)
+		return &sl.f64, sl, 1 + uvarintLen(uint64(len(sl.f64))) + 8*len(sl.f64), true
 	case *[]int:
 		cp := append([]int(nil), *p...)
-		return &cp, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
+		return &cp, nil, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
 	case *[]int64:
 		cp := append([]int64(nil), *p...)
-		return &cp, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
+		return &cp, nil, 1 + uvarintLen(uint64(len(cp))) + 8*len(cp), true
 	case *[][]float64:
 		cp := make([][]float64, len(*p))
 		size := 1 + uvarintLen(uint64(len(cp)))
@@ -276,9 +446,9 @@ func copyValue(ptr any, pool *bufPool) (owned any, size int, ok bool) {
 			cp[i] = append([]float64(nil), row...)
 			size += uvarintLen(uint64(len(row))) + 8*len(row)
 		}
-		return &cp, size, true
+		return &cp, nil, size, true
 	}
-	return nil, 0, false
+	return nil, nil, 0, false
 }
 
 // encodedSize computes len(Encode(ptr)) without copying or encoding for

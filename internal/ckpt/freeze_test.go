@@ -165,6 +165,173 @@ type cutRecorder struct {
 
 func (c *cutRecorder) Cut() error { c.cuts++; return nil }
 
+// TestIncrementalFreezeSharesCleanRegions pins the dirty-region contract:
+// an untouched slab region is re-referenced (zero copy), a touched one is
+// re-copied, and the serialized bytes always equal a full snapshot's.
+func TestIncrementalFreezeSharesCleanRegions(t *testing.T) {
+	s := NewSaver()
+	s.Incremental = true
+	var it int
+	grid := make([]float64, 2000)
+	other := make([]float64, 3000)
+	for i := range grid {
+		grid[i] = float64(i)
+	}
+	if err := s.VDS.Push("it", &it); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VDS.Push("grid", &grid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VDS.Push("other", &other); err != nil {
+		t.Fatal(err)
+	}
+	blk := s.Heap.Alloc(4096)
+	for i := range blk.Data {
+		blk.Data[i] = byte(i)
+	}
+
+	checkpoint := func(f *Frozen) []byte {
+		t.Helper()
+		want, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("incremental frozen bytes differ from live snapshot (%d vs %d bytes)", len(got), len(want))
+		}
+		return got
+	}
+
+	// Epoch 1: everything dirty.
+	f1, err := s.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint(f1)
+	copied, dirty, regions := f1.CopyStats()
+	if dirty != regions || regions != 4 {
+		t.Fatalf("first freeze: dirty=%d regions=%d, want all 4 dirty", dirty, regions)
+	}
+	if copied < int64(8*(len(grid)+len(other))+len(blk.Data)) {
+		t.Fatalf("first freeze copied %d bytes, want at least the slab payloads", copied)
+	}
+	f1.Release() // flush done; slabs now shared with the retention map only
+
+	// Epoch 2: mutate grid (+Touch), the counter (scalar, no Touch needed),
+	// and the heap block (+Touch); leave other clean.
+	it = 7
+	grid[3] = -1
+	if err := s.VDS.Touch("grid"); err != nil {
+		t.Fatal(err)
+	}
+	blk.Data[9] = 0xEE
+	s.Heap.Touch(blk.ID)
+
+	f2, err := s.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint(f2)
+	copied, dirty, regions = f2.CopyStats()
+	// Dirty: it (scalar), grid, heap block. Clean: other.
+	if dirty != 3 || regions != 4 {
+		t.Fatalf("second freeze: dirty=%d regions=%d, want 3/4", dirty, regions)
+	}
+	if max := int64(8*len(grid) + len(blk.Data) + 64); copied > max {
+		t.Fatalf("second freeze copied %d bytes, want <= %d (clean region re-referenced)", copied, max)
+	}
+	f2.Release()
+
+	// Epoch 3: nothing touched — only the scalar is recopied, and the
+	// frozen view still matches the live snapshot byte for byte.
+	f3, err := s.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint(f3)
+	copied, dirty, _ = f3.CopyStats()
+	if dirty != 1 || copied > 64 {
+		t.Fatalf("clean freeze: dirty=%d copied=%d, want 1 scalar region only", dirty, copied)
+	}
+	f3.Release()
+}
+
+// TestIncrementalFreezeTouchUnknownFails pins that a typo'd Touch surfaces
+// loudly instead of as silently stale recovered state.
+func TestIncrementalFreezeTouchUnknownFails(t *testing.T) {
+	s := NewSaver()
+	if err := s.VDS.Touch("nope"); err == nil {
+		t.Fatal("VDS.Touch on an unregistered name succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Heap.Touch on an unknown handle did not panic")
+		}
+	}()
+	s.Heap.Touch(42)
+}
+
+// TestIncrementalFreezeSlabRefcount pins the lifetime rule: releasing an
+// older epoch must not hand a shared slab back to the pool while a newer
+// epoch still references it, in either release order.
+func TestIncrementalFreezeSlabRefcount(t *testing.T) {
+	for _, releaseOldFirst := range []bool{true, false} {
+		s := NewSaver()
+		s.Incremental = true
+		grid := make([]float64, 1500)
+		for i := range grid {
+			grid[i] = float64(i) * 1.25
+		}
+		if err := s.VDS.Push("grid", &grid); err != nil {
+			t.Fatal(err)
+		}
+		f1, err := s.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := f1.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !releaseOldFirst {
+			// Keep f1 alive across the next freeze (the flusher may still
+			// be writing it when the refcounts are what protects it).
+			defer f1.Release()
+		} else {
+			f1.Release()
+		}
+		f2, err := s.Freeze() // clean: shares f1's slab
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Churn the pool: a third saver-side allocation must not be handed
+		// the shared slab. Dirty a dummy variable large enough to want a
+		// pooled buffer of the same size class.
+		decoy := make([]float64, 1500)
+		if err := s.VDS.Push("decoy", &decoy); err != nil {
+			t.Fatal(err)
+		}
+		f3, err := s.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f2.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("releaseOldFirst=%v: shared slab was clobbered while epoch 2 still referenced it", releaseOldFirst)
+		}
+		f2.Release()
+		f3.Release()
+	}
+}
+
 func TestFrozenWriteToCutsAroundLargeValues(t *testing.T) {
 	s := NewSaver()
 	big := make([]float64, cutoverBytes) // 8*cutover bytes, well over the threshold

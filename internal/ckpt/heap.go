@@ -24,12 +24,21 @@ type Heap struct {
 	nextID int
 	// live bytes, maintained incrementally for state-size accounting.
 	liveBytes int
+	// muts is the monotone write clock behind dirty-region tracking:
+	// Alloc, Realloc, Restore and Touch stamp the affected block, so an
+	// incremental Freeze can tell "unchanged since the last capture" by
+	// comparing stamps (see freeze.go).
+	muts uint64
 }
 
 // Block is one live heap object tracked by the HOS.
 type Block struct {
 	ID   int
 	Data []byte
+	// gen is the heap write clock's value at the block's last allocation,
+	// resize or Touch; an incremental Freeze treats a matching gen as
+	// "clean".
+	gen uint64
 }
 
 // NewHeap returns an empty checkpointable heap.
@@ -39,11 +48,27 @@ func NewHeap() *Heap {
 
 // Alloc allocates a block of n zero bytes and registers it in the HOS.
 func (h *Heap) Alloc(n int) *Block {
-	b := &Block{ID: h.nextID, Data: make([]byte, n)}
+	h.muts++
+	b := &Block{ID: h.nextID, Data: make([]byte, n), gen: h.muts}
 	h.nextID++
 	h.blocks[b.ID] = b
 	h.liveBytes += n
 	return b
+}
+
+// Touch records write intent on a live block: the next incremental Freeze
+// re-copies its bytes instead of re-referencing the previous epoch's
+// frozen copy. Under incremental freeze every write into Block.Data must
+// be followed by a Touch before the next checkpoint (Alloc and Realloc
+// dirty implicitly). Touching an unknown handle panics, as it is a program
+// bug that would otherwise surface as silently stale recovered state.
+func (h *Heap) Touch(id int) {
+	b, ok := h.blocks[id]
+	if !ok {
+		panic(fmt.Sprintf("ckpt: Heap.Touch(%d): no such block", id))
+	}
+	h.muts++
+	b.gen = h.muts
 }
 
 // Free removes a block from the HOS. Freeing an unknown handle panics, as
@@ -116,7 +141,8 @@ func (h *Heap) Restore(snapshot []byte) error {
 		if err != nil {
 			return fmt.Errorf("ckpt: corrupt heap snapshot: %w", err)
 		}
-		blocks[int(id)] = &Block{ID: int(id), Data: data}
+		h.muts++
+		blocks[int(id)] = &Block{ID: int(id), Data: data, gen: h.muts}
 		liveBytes += len(data)
 	}
 	h.blocks = blocks
@@ -133,6 +159,8 @@ func (h *Heap) Realloc(id, n int) *Block {
 	if !ok {
 		panic(fmt.Sprintf("ckpt: Heap.Realloc(%d): no such block", id))
 	}
+	h.muts++
+	b.gen = h.muts
 	h.liveBytes += n - len(b.Data)
 	if n <= cap(b.Data) {
 		grown := b.Data[:n]

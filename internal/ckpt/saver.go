@@ -13,10 +13,27 @@ type Saver struct {
 	VDS  *VDS
 	Heap *Heap
 
+	// Incremental enables dirty-region freezing: Freeze copies only the
+	// regions (VDS variables, heap blocks) touched since the previous
+	// Freeze and re-references the prior epoch's frozen slabs for the
+	// clean ones. It requires the write-intent contract — every mutation
+	// of a registered non-scalar value or heap block must be followed by
+	// VDS.Touch / Heap.Touch before the next checkpoint; registration,
+	// resize and unregister dirty implicitly — and must be set before the
+	// first Freeze. The serialized bytes are identical to a full freeze's,
+	// so storage and recovery are oblivious.
+	Incremental bool
+
 	// pool recycles the slabs of released Frozen views across epochs, so
 	// a steady-state Freeze costs one memcpy into warm pages instead of a
 	// fresh multi-megabyte allocation plus its page faults (see freeze.go).
 	pool bufPool
+
+	// lastVDS/lastHeap retain the previous Freeze's regions (with slab
+	// retention references) so an incremental Freeze can re-reference the
+	// clean ones even after that epoch's Frozen has been released.
+	lastVDS  map[string]frozenEntry
+	lastHeap map[int]frozenBlock
 }
 
 // NewSaver returns a Saver with fresh, empty components.
@@ -65,6 +82,9 @@ func (s *Saver) StateBytes() (int, error) {
 // restore map; the heap is restored immediately (its handles must resolve
 // before the application re-executes).
 func (s *Saver) StartRestore(blob []byte) error {
+	// Restored live state shares no history with any previous freeze: the
+	// retained regions are stale and must never be re-referenced.
+	s.dropRetained()
 	rd := bytes.NewReader(blob)
 	n, err := readUvarint(rd)
 	if err != nil {

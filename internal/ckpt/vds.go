@@ -28,6 +28,12 @@ type VDS struct {
 	// (rank 0 by convention; set by the protocol layer).
 	Primary bool
 
+	// muts is the monotone write clock behind dirty-region tracking: every
+	// Push and Touch stamps the affected entry with the next tick, so an
+	// incremental Freeze can tell "unchanged since the last capture" by
+	// comparing stamps (see freeze.go).
+	muts uint64
+
 	// restore holds decoded records awaiting their re-registration after a
 	// restart; replicas holds the primary's replicated values, supplied by
 	// the recovery driver.
@@ -40,6 +46,9 @@ type vdsEntry struct {
 	ptr       any
 	kind      entryKind
 	recompute func() error
+	// gen is the write clock's value at the entry's last registration or
+	// Touch; an incremental Freeze treats a matching gen as "clean".
+	gen uint64
 }
 
 type restoreRec struct {
@@ -80,12 +89,35 @@ func (v *VDS) Push(name string, ptr any) error {
 }
 
 func (v *VDS) pushEntry(e vdsEntry) {
+	// Registration (and rebinding) implicitly dirties: the pointer is new,
+	// so the previous epoch's frozen copy cannot be trusted for it.
+	v.muts++
+	e.gen = v.muts
 	if i, ok := v.index[e.name]; ok {
 		v.entries[i] = e
 		return
 	}
 	v.index[e.name] = len(v.entries)
 	v.entries = append(v.entries, e)
+}
+
+// Touch records write intent on a live variable: the next incremental
+// Freeze re-copies its value instead of re-referencing the previous
+// epoch's frozen copy. Under incremental freeze (Saver.Incremental) every
+// mutation of a registered non-scalar value — slice writes, reslicing,
+// struct field updates — must be followed by a Touch before the next
+// checkpoint; scalar values (int, float64, bool, string, ...) are always
+// re-copied and never need it. Touching an unregistered name is an error,
+// because a typo here would otherwise surface as silently stale state in a
+// recovered run.
+func (v *VDS) Touch(name string) error {
+	i, ok := v.index[name]
+	if !ok {
+		return fmt.Errorf("ckpt: VDS.Touch(%q): no live variable registered under that name", name)
+	}
+	v.muts++
+	v.entries[i].gen = v.muts
+	return nil
 }
 
 // Pop removes the most recently pushed live variable (scope exit).

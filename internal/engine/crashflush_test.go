@@ -44,15 +44,20 @@ func (s *slowManifest) Put(key string, data []byte) error {
 // crashProg builds a ring-exchange program; when started is non-nil, rank
 // `doomed` dies — once — as soon as started closes (i.e. as soon as its
 // own checkpoint flush is mid-write). A nil channel builds the fault-free
-// reference program.
+// reference program. Beyond the scalars, each rank carries a grid it
+// partially rewrites (with Touch write intent) every iteration and folds
+// into its result, so the incremental-freeze variant cannot recover from
+// a stale frozen region without the checksum diverging.
 func crashProg(doomed int, started <-chan struct{}, died *atomic.Bool) Program {
 	return func(r *Rank) (any, error) {
 		next := (r.Rank() + 1) % r.Size()
 		prev := (r.Rank() - 1 + r.Size()) % r.Size()
 		var it int
 		var total float64
+		grid := make([]float64, 2048)
 		r.Register("it", &it)
 		r.Register("total", &total)
+		r.Register("grid", &grid)
 		for ; it < 30; it++ {
 			r.PotentialCheckpoint()
 			if r.Rank() == doomed {
@@ -70,6 +75,13 @@ func crashProg(doomed int, started <-chan struct{}, died *atomic.Bool) Program {
 			r.Isend(next, 1, mpi.F64Bytes([]float64{float64(r.Rank()*1000 + it)}))
 			m := r.Wait(h)
 			total += mpi.BytesF64(m.Data)[0]
+			for j := 0; j < 64; j++ {
+				grid[(it*131+j)%len(grid)] += total
+			}
+			r.Touch("grid")
+		}
+		for _, x := range grid {
+			total += x
 		}
 		return total, nil
 	}
@@ -80,26 +92,34 @@ func TestCrashDuringFlushRecovery(t *testing.T) {
 	var noDeath atomic.Bool
 	ref := runRef(t, Config{Ranks: 3, Mode: protocol.Unmodified}, crashProg(doomed, nil, &noDeath))
 
-	store := &slowManifest{
-		Stable:  storage.NewMemory(),
-		key:     storage.StateKey(2, doomed),
-		delay:   150 * time.Millisecond,
-		started: make(chan struct{}),
-	}
-	var died atomic.Bool
-	res, err := Run(Config{
-		Ranks: 3, Mode: protocol.Full, EveryN: 5, Debug: true, Store: store,
-	}, crashProg(doomed, store.started, &died))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !died.Load() {
-		t.Fatal("the doomed rank never died: epoch 2's flush was not observed in flight")
-	}
-	if len(res.RecoveredEpochs) != 1 || res.RecoveredEpochs[0] != 1 {
-		t.Fatalf("recovered epochs %v, want [1]: a crash mid-flush must fall back to the previous committed epoch, never the one in flight", res.RecoveredEpochs)
-	}
-	if !reflect.DeepEqual(res.Values, ref) {
-		t.Fatalf("recovered values %v != fault-free %v", res.Values, ref)
+	// Both write modes must survive a crash mid-flush: the async pipeline
+	// with full freezes, and the dirty-region incremental pipeline whose
+	// epoch-2 flush shares epoch-1 slabs at the moment of death.
+	for _, variant := range []string{"full-freeze", "incremental"} {
+		t.Run(variant, func(t *testing.T) {
+			store := &slowManifest{
+				Stable:  storage.NewMemory(),
+				key:     storage.StateKey(2, doomed),
+				delay:   150 * time.Millisecond,
+				started: make(chan struct{}),
+			}
+			var died atomic.Bool
+			res, err := Run(Config{
+				Ranks: 3, Mode: protocol.Full, EveryN: 5, Debug: true, Store: store,
+				IncrementalFreeze: variant == "incremental",
+			}, crashProg(doomed, store.started, &died))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !died.Load() {
+				t.Fatal("the doomed rank never died: epoch 2's flush was not observed in flight")
+			}
+			if len(res.RecoveredEpochs) != 1 || res.RecoveredEpochs[0] != 1 {
+				t.Fatalf("recovered epochs %v, want [1]: a crash mid-flush must fall back to the previous committed epoch, never the one in flight", res.RecoveredEpochs)
+			}
+			if !reflect.DeepEqual(res.Values, ref) {
+				t.Fatalf("recovered values %v != fault-free %v", res.Values, ref)
+			}
+		})
 	}
 }

@@ -83,6 +83,14 @@ type Config struct {
 	// state writer (bytes); 0 selects storage.DefaultChunkSize. Unchanged
 	// chunks are re-referenced instead of re-written across epochs.
 	ChunkSize int
+	// IncrementalFreeze enables dirty-region tracking: a checkpoint's
+	// blocking freeze copies only regions the program touched since the
+	// previous epoch (Rank.Touch / Heap.Touch write intent; registration,
+	// resize and unregister dirty implicitly) and re-references the prior
+	// frozen slabs for clean ones. The program MUST honor the Touch
+	// contract for every registered non-scalar value it mutates — an
+	// untracked write recovers stale. Off by default.
+	IncrementalFreeze bool
 }
 
 // Result reports a completed run.
@@ -368,15 +376,16 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 				}
 			}()
 			layer := protocol.NewLayer(world.Comm(r), protocol.Config{
-				Mode:       cfg.Mode,
-				Store:      cs,
-				EveryN:     cfg.EveryN,
-				Interval:   cfg.Interval,
-				Debug:      cfg.Debug,
-				Tracer:     cfg.Tracer,
-				Ctx:        ctx,
-				AsyncFlush: !cfg.SyncCheckpoint,
-				ChunkSize:  cfg.ChunkSize,
+				Mode:              cfg.Mode,
+				Store:             cs,
+				EveryN:            cfg.EveryN,
+				Interval:          cfg.Interval,
+				Debug:             cfg.Debug,
+				Tracer:            cfg.Tracer,
+				Ctx:               ctx,
+				AsyncFlush:        !cfg.SyncCheckpoint,
+				ChunkSize:         cfg.ChunkSize,
+				IncrementalFreeze: cfg.IncrementalFreeze,
 			})
 			// The background flusher must not outlive this incarnation:
 			// Shutdown waits for an in-flight state write (registered after

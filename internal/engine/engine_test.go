@@ -10,6 +10,7 @@ import (
 	"ccift/internal/mpi"
 	"ccift/internal/protocol"
 	"ccift/internal/storage"
+	"ccift/internal/testseed"
 )
 
 // ringProg is a deterministic neighbour-exchange program: each rank holds a
@@ -375,7 +376,8 @@ func TestChaosRecovery(t *testing.T) {
 	// assume FIFO delivery (Section 3.3).
 	prog := ringProg(20, 4)
 	ref := runRef(t, Config{Ranks: 4, Mode: protocol.Unmodified}, prog)
-	for seed := int64(1); seed <= 5; seed++ {
+	base := testseed.Base(t, 1)
+	for seed := base; seed < base+5; seed++ {
 		cfg := Config{
 			Ranks: 4, Mode: protocol.Full, EveryN: 3, Debug: true, ChaosSeed: seed,
 			Failures: []Failure{{Rank: 1, AtOp: 35, Incarnation: 0}},
@@ -582,7 +584,8 @@ func TestRunsAreDeterministicAcrossRepeats(t *testing.T) {
 func TestChaosAllRecovery(t *testing.T) {
 	prog := ringProg(20, 4)
 	ref := runRef(t, Config{Ranks: 3, Mode: protocol.Unmodified}, prog)
-	for seed := int64(1); seed <= 5; seed++ {
+	base := testseed.Base(t, 1)
+	for seed := base; seed < base+5; seed++ {
 		cfg := Config{
 			Ranks: 3, Mode: protocol.Full, EveryN: 4, Debug: true,
 			ChaosSeed: seed, ChaosAll: true,

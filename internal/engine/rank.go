@@ -201,6 +201,30 @@ func (r *Rank) RegisterReplicated(name string, ptr any) {
 	r.trackReg(name, fresh)
 }
 
+// Touch records write intent on registered variables: under incremental
+// freeze (WithIncrementalFreeze), the next checkpoint re-copies touched
+// regions and re-references the previous epoch's frozen copy for clean
+// ones.
+//
+// Placement rule: call Touch after the last write to a variable and
+// before the next PotentialCheckpoint — every mutation of a registered
+// non-scalar value (slice writes, reslicing or swapping slice headers,
+// struct field updates) must be covered by a Touch, or the checkpoint
+// freezes stale bytes and a recovery silently diverges. Scalar values
+// (int, int64, uint64, float64, bool, string) are always re-copied and
+// never need touching; touching them anyway is harmless. For heap blocks
+// use Heap().Touch(id). Without incremental freeze, Touch is a cheap
+// no-op-equivalent, so instrumented programs can call it unconditionally.
+// Touching a name with no live registration panics — a typo here would
+// otherwise surface as silently corrupt recovered state.
+func (r *Rank) Touch(names ...string) {
+	for _, name := range names {
+		if err := r.l.Saver.VDS.Touch(name); err != nil {
+			panic(fmt.Sprintf("engine: Rank.Touch: %v", err))
+		}
+	}
+}
+
 // Unregister pops the most recently registered variable (scope exit). The
 // pop is verified against this Rank's registration depth: calling
 // Unregister without a matching Register — or when the VDS top was pushed

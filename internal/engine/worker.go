@@ -42,9 +42,12 @@ type WorkerConfig struct {
 	Interval time.Duration
 	// SyncCheckpoint disables the asynchronous checkpoint pipeline (see
 	// Config.SyncCheckpoint); ChunkSize sets the chunked state writer's
-	// granularity (0 = default).
-	SyncCheckpoint bool
-	ChunkSize      int
+	// granularity (0 = default); IncrementalFreeze enables dirty-region
+	// tracking (see Config.IncrementalFreeze — the program must honor the
+	// Touch contract).
+	SyncCheckpoint    bool
+	ChunkSize         int
+	IncrementalFreeze bool
 	// KillAtOp, when non-zero, schedules this rank's death at its
 	// KillAtOp-th substrate operation. Kill performs the death; the
 	// launcher's worker installs a real self-SIGKILL (which never returns),
@@ -172,15 +175,16 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	}()
 
 	layer := protocol.NewLayer(world.Comm(cfg.Rank), protocol.Config{
-		Mode:       cfg.Mode,
-		Store:      cs,
-		EveryN:     cfg.EveryN,
-		Interval:   cfg.Interval,
-		Debug:      cfg.Debug,
-		Tracer:     cfg.Tracer,
-		Ctx:        ctx,
-		AsyncFlush: !cfg.SyncCheckpoint,
-		ChunkSize:  cfg.ChunkSize,
+		Mode:              cfg.Mode,
+		Store:             cs,
+		EveryN:            cfg.EveryN,
+		Interval:          cfg.Interval,
+		Debug:             cfg.Debug,
+		Tracer:            cfg.Tracer,
+		Ctx:               ctx,
+		AsyncFlush:        !cfg.SyncCheckpoint,
+		ChunkSize:         cfg.ChunkSize,
+		IncrementalFreeze: cfg.IncrementalFreeze,
 	})
 	// Registered after the recover defer, so a stop-failure unwind stops
 	// the flusher (waiting out any in-flight write) before the process
@@ -210,6 +214,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	// finished-counter parking.
 	cfg.AnnounceDone()
 	layer.ServiceControlUntil(cfg.AllDone)
+	// In Unmodified mode the protocol layer is inert and the call above
+	// returns immediately; still wait for every peer's done announcement,
+	// because exiting (and closing this rank's sockets) while a peer is
+	// mid-computation would read as a death on its side. Fault-free
+	// overhead sweeps (fig8 -distributed) run this path; in the active
+	// modes AllDone already holds and the loop is skipped.
+	for !cfg.AllDone() {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("engine: worker rank %d canceled: %w", cfg.Rank, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	// Drain the flusher before reporting: a failed state write is this
 	// worker's error, and a late-finishing flush still counts in Stats.
 	if err := layer.Shutdown(); err != nil {

@@ -21,6 +21,11 @@ const (
 	// from ~8 MB up; Laplace 512²–2048²; Neurosys 16²–128²) with iteration
 	// counts reduced to keep wall time in minutes rather than hours.
 	Paper
+	// Smoke is one tiny size per benchmark, for CI paths that only need to
+	// prove a sweep configuration end to end (fig8 -short, and especially
+	// -distributed -short, where every cell spawns real OS processes).
+	// Shape verdicts are meaningless at a single size.
+	Smoke
 )
 
 // CGExperiment is Figure 8 (left): dense Conjugate Gradient, block-row
@@ -31,12 +36,15 @@ func CGExperiment(ranks int, scale Scale) Experiment {
 		n, iters, everyN int
 	}
 	var sizes []sz
-	if scale == Paper {
+	switch scale {
+	case Paper:
 		// The paper ran 4096–16384 for 500 iterations on 16 processors,
 		// checkpointing every 30 s. Iterations are scaled down; the state
 		// sizes match the paper's regime.
 		sizes = []sz{{4096, 30, 10}, {8192, 12, 4}, {16384, 6, 2}}
-	} else {
+	case Smoke:
+		sizes = []sz{{128, 20, 8}}
+	default:
 		sizes = []sz{{512, 150, 70}, {1024, 80, 38}, {2048, 40, 18}}
 	}
 	for _, s := range sizes {
@@ -44,6 +52,8 @@ func CGExperiment(ranks int, scale Scale) Experiment {
 		e.Sizes = append(e.Sizes, Size{
 			Label:      fmt.Sprintf("%dx%d", s.n, s.n),
 			Program:    cg.Program(p),
+			Arg:        s.n,
+			Iters:      s.iters,
 			StateBytes: p.StateBytesPerRank(ranks),
 			EveryN:     s.everyN,
 		})
@@ -59,10 +69,13 @@ func LaplaceExperiment(ranks int, scale Scale) Experiment {
 		n, iters, everyN int
 	}
 	var sizes []sz
-	if scale == Paper {
+	switch scale {
+	case Paper:
 		// The paper ran 512–2048 for 40000 iterations.
 		sizes = []sz{{512, 2000, 600}, {1024, 800, 250}, {2048, 300, 100}}
-	} else {
+	case Smoke:
+		sizes = []sz{{64, 60, 15}}
+	default:
 		sizes = []sz{{256, 2000, 650}, {512, 1000, 330}, {1024, 400, 130}}
 	}
 	for _, s := range sizes {
@@ -70,6 +83,8 @@ func LaplaceExperiment(ranks int, scale Scale) Experiment {
 		e.Sizes = append(e.Sizes, Size{
 			Label:      fmt.Sprintf("%dx%d", s.n, s.n),
 			Program:    laplace.Program(p),
+			Arg:        s.n,
+			Iters:      s.iters,
 			StateBytes: p.StateBytesPerRank(ranks),
 			EveryN:     s.everyN,
 		})
@@ -86,10 +101,13 @@ func NeurosysExperiment(ranks int, scale Scale) Experiment {
 		k, iters, everyN int
 	}
 	var sizes []sz
-	if scale == Paper {
+	switch scale {
+	case Paper:
 		// The paper ran 16x16 through 128x128 for 3000 iterations.
 		sizes = []sz{{16, 1500, 500}, {32, 1000, 330}, {64, 500, 160}, {128, 250, 80}}
-	} else {
+	case Smoke:
+		sizes = []sz{{16, 80, 30}}
+	default:
 		sizes = []sz{{16, 800, 270}, {32, 500, 170}, {64, 250, 85}, {128, 120, 40}}
 	}
 	for _, s := range sizes {
@@ -97,6 +115,8 @@ func NeurosysExperiment(ranks int, scale Scale) Experiment {
 		e.Sizes = append(e.Sizes, Size{
 			Label:      fmt.Sprintf("%dx%d", s.k, s.k),
 			Program:    neurosys.Program(p),
+			Arg:        s.k,
+			Iters:      s.iters,
 			StateBytes: p.StateBytesPerRank(ranks),
 			EveryN:     s.everyN,
 		})

@@ -26,6 +26,12 @@ type Size struct {
 	Label string
 	// Program builds the application.
 	Program engine.Program
+	// Arg and Iters are the application-level parameters behind Program
+	// (the problem edge and iteration count), for drivers that must
+	// rebuild the same program in another process — fig8's -distributed
+	// sweep passes them to its re-exec'd workers.
+	Arg   int
+	Iters int
 	// StateBytes estimates per-process application state (the annotation
 	// above each Figure 8 bar group).
 	StateBytes int
@@ -72,12 +78,25 @@ type Table struct {
 	Rows       []Row
 }
 
+// CellRunner executes one (size, mode) cell and returns its measurement.
+// The default runner drives the in-process engine; cmd/fig8's -distributed
+// flag substitutes one that runs each cell as real OS processes over TCP.
+type CellRunner func(ctx context.Context, size Size, mode protocol.Mode) (Cell, error)
+
 // Run executes the experiment.
 func (e Experiment) Run() (*Table, error) { return e.RunContext(context.Background()) }
 
 // RunContext executes the experiment under a context: cancellation aborts
 // the in-flight engine run and returns its error.
 func (e Experiment) RunContext(ctx context.Context) (*Table, error) {
+	return e.RunContextWith(ctx, e.runOnce)
+}
+
+// RunContextWith executes the experiment with a substituted cell runner
+// (see CellRunner); measurement selection (best of Repeats) and table
+// assembly are unchanged, so in-process and distributed sweeps render and
+// verdict identically.
+func (e Experiment) RunContextWith(ctx context.Context, run CellRunner) (*Table, error) {
 	t := &Table{Experiment: e}
 	repeats := e.Repeats
 	if repeats == 0 {
@@ -88,7 +107,7 @@ func (e Experiment) RunContext(ctx context.Context) (*Table, error) {
 		for _, mode := range Modes {
 			best := Cell{Mode: mode, Seconds: -1}
 			for rep := 0; rep < repeats; rep++ {
-				cell, err := e.runOnce(ctx, size, mode)
+				cell, err := run(ctx, size, mode)
 				if err != nil {
 					return nil, fmt.Errorf("%s %s %v: %w", e.App, size.Label, mode, err)
 				}
@@ -137,6 +156,19 @@ func (e Experiment) runOnce(ctx context.Context, size Size, mode protocol.Mode) 
 		cell.LogMB += float64(s.LogBytes) / 1e6
 	}
 	return cell, nil
+}
+
+// ParseMode resolves a protocol Mode from its String() rendering
+// ("unmodified", "piggyback-only", "no-app-state", "full") — the inverse
+// fig8's distributed workers need to rebuild a cell's configuration from
+// re-exec'd flags.
+func ParseMode(s string) (protocol.Mode, error) {
+	for _, m := range Modes {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown mode %q (want one of %v)", s, Modes)
 }
 
 // Overhead returns a cell's runtime overhead relative to the unmodified

@@ -433,13 +433,18 @@ type WorkerApp struct {
 	Interval time.Duration
 	Seed     int64
 	Debug    bool
-	// Mode selects the protocol version; the zero value selects Full, the
-	// only mode that can recover, which is what a distributed run is for.
+	// Mode selects the protocol version. Recovery requires Full — a
+	// killed run in any other mode fails hard — so production launchers
+	// pass Full; the fig8 harness sweeps the other versions for fault-free
+	// overhead measurements.
 	Mode protocol.Mode
 	// SyncCheckpoint disables the asynchronous checkpoint pipeline;
-	// ChunkSize sets the chunked state writer's granularity (0 = default).
-	SyncCheckpoint bool
-	ChunkSize      int
+	// ChunkSize sets the chunked state writer's granularity (0 = default);
+	// IncrementalFreeze enables dirty-region tracking (the program must
+	// honor the Touch write-intent contract).
+	SyncCheckpoint    bool
+	ChunkSize         int
+	IncrementalFreeze bool
 	// WrapStore, when non-nil, wraps the worker's stable store before the
 	// engine sees it. Fault-injection tests use it to fail or delay
 	// specific writes (e.g. SIGKILL mid checkpoint flush); production
@@ -511,20 +516,17 @@ func workerRun(app WorkerApp) (int, error) {
 	}
 	defer tr.Close()
 
-	mode := app.Mode
-	if mode == protocol.Unmodified {
-		mode = protocol.Full
-	}
 	res, err := engine.RunWorker(context.Background(), engine.WorkerConfig{
 		Rank: rank, Ranks: ranks,
-		Incarnation:    incarnation,
-		Mode:           mode,
-		Store:          store,
-		EveryN:         app.EveryN,
-		Interval:       app.Interval,
-		SyncCheckpoint: app.SyncCheckpoint,
-		ChunkSize:      app.ChunkSize,
-		KillAtOp:       killAtOp,
+		Incarnation:       incarnation,
+		Mode:              app.Mode,
+		Store:             store,
+		EveryN:            app.EveryN,
+		Interval:          app.Interval,
+		SyncCheckpoint:    app.SyncCheckpoint,
+		ChunkSize:         app.ChunkSize,
+		IncrementalFreeze: app.IncrementalFreeze,
+		KillAtOp:          killAtOp,
 		Kill: func() {
 			// A real stopping failure: no deferred cleanup, no recover, no
 			// goodbye on the sockets — the kernel reaps the process and

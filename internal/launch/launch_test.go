@@ -18,6 +18,7 @@ import (
 
 	"ccift/internal/apps"
 	"ccift/internal/launch"
+	"ccift/internal/protocol"
 	"ccift/internal/storage"
 )
 
@@ -46,8 +47,13 @@ const (
 //     long program: epoch 2 must demonstrably begin while every rank is
 //     still computing, which the short program cannot guarantee (a rank
 //     that has finished its loop takes no further checkpoints).
+//   - "kill-mid-flush-incremental": the same crash window with dirty-region
+//     freezing enabled, so the flush that dies is an incremental epoch
+//     sharing the previous epoch's frozen slabs; recovery must still come
+//     from the prior commit with identical output (laplace honors the
+//     Touch contract).
 //   - "long-baseline": the long program fault-free, for the mid-flush
-//     test's output comparison.
+//     tests' output comparison.
 const envVariant = "CCIFT_TEST_WORKER_VARIANT"
 
 // testLongIters sizes the "kill-mid-flush"/"long-baseline" program so the
@@ -76,7 +82,7 @@ func TestMain(m *testing.M) {
 	if launch.IsWorker() {
 		variant := os.Getenv(envVariant)
 		iters := testIters
-		if variant == "kill-mid-flush" || variant == "long-baseline" {
+		if strings.HasPrefix(variant, "kill-mid-flush") || variant == "long-baseline" {
 			iters = testLongIters
 		}
 		prog, _, err := apps.Build("laplace", testRanks, testSize, iters)
@@ -84,11 +90,12 @@ func TestMain(m *testing.M) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		app := launch.WorkerApp{Prog: prog, EveryN: testEveryN}
+		app := launch.WorkerApp{Prog: prog, EveryN: testEveryN, Mode: protocol.Full}
 		switch variant {
 		case "sync":
 			app.SyncCheckpoint = true
-		case "kill-mid-flush":
+		case "kill-mid-flush", "kill-mid-flush-incremental":
+			app.IncrementalFreeze = variant == "kill-mid-flush-incremental"
 			// Only the first incarnation's rank 2 is doomed: epoch numbers
 			// restart below the trigger after recovery, so an unconditional
 			// trap would kill every re-spawn at its epoch-2 flush forever.
@@ -224,22 +231,30 @@ func TestReusedStoreIgnoresStaleCommit(t *testing.T) {
 func TestDistributedKillMidFlush(t *testing.T) {
 	t.Setenv(envVariant, "long-baseline")
 	baseline := runLaplace(t, nil)
-	t.Setenv(envVariant, "kill-mid-flush")
-	res, err := launch.Run(launch.Config{Ranks: testRanks, Stderr: io.Discard})
-	if err != nil {
-		t.Fatalf("launch.Run: %v", err)
-	}
-	if res.Restarts != 1 {
-		t.Fatalf("%d restarts, want 1", res.Restarts)
-	}
-	if got := res.Incarnations[0].Exits[2]; got != "signal: killed" {
-		t.Fatalf("doomed rank exited %q, want signal: killed", got)
-	}
-	if len(res.RecoveredEpochs) != 1 || res.RecoveredEpochs[0] != 1 {
-		t.Fatalf("recovered epochs %v, want [1]: a crash mid-flush must fall back to the previous committed epoch, never the one in flight", res.RecoveredEpochs)
-	}
-	if res.Output != baseline.Output {
-		t.Fatalf("recovered output %q != fault-free output %q", res.Output, baseline.Output)
+	// The same crash window twice: full freezes, then dirty-region
+	// incremental freezes — a real SIGKILL inside an incremental epoch
+	// whose flush shares the previous epoch's slabs must still recover
+	// from the prior commit with byte-identical output.
+	for _, variant := range []string{"kill-mid-flush", "kill-mid-flush-incremental"} {
+		t.Run(variant, func(t *testing.T) {
+			t.Setenv(envVariant, variant)
+			res, err := launch.Run(launch.Config{Ranks: testRanks, Stderr: io.Discard})
+			if err != nil {
+				t.Fatalf("launch.Run: %v", err)
+			}
+			if res.Restarts != 1 {
+				t.Fatalf("%d restarts, want 1", res.Restarts)
+			}
+			if got := res.Incarnations[0].Exits[2]; got != "signal: killed" {
+				t.Fatalf("doomed rank exited %q, want signal: killed", got)
+			}
+			if len(res.RecoveredEpochs) != 1 || res.RecoveredEpochs[0] != 1 {
+				t.Fatalf("recovered epochs %v, want [1]: a crash mid-flush must fall back to the previous committed epoch, never the one in flight", res.RecoveredEpochs)
+			}
+			if res.Output != baseline.Output {
+				t.Fatalf("recovered output %q != fault-free output %q", res.Output, baseline.Output)
+			}
+		})
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"ccift/internal/testseed"
 )
 
 // runRanks executes fn concurrently on every rank of a fresh world and
@@ -426,7 +428,8 @@ func TestChaosReordersAcrossSenders(t *testing.T) {
 	// sends A to rank 2 and only then releases rank 1 to send B — so any
 	// B-before-A observation is chaos at work.
 	reordered := false
-	for seed := int64(1); seed < 50 && !reordered; seed++ {
+	base := testseed.Base(t, 1)
+	for seed := base; seed < base+50 && !reordered; seed++ {
 		runRanks(t, 3, Options{ChaosSeed: seed}, func(c *Comm) {
 			switch c.Rank() {
 			case 0:

@@ -92,6 +92,14 @@ type Config struct {
 	// ChunkSize is the chunk granularity of the content-hashed state
 	// writer; 0 selects storage.DefaultChunkSize.
 	ChunkSize int
+	// IncrementalFreeze enables dirty-region tracking in the state-saving
+	// runtime: a checkpoint's blocking freeze copies only regions touched
+	// since the previous epoch (see ckpt.Saver.Incremental) and
+	// re-references the prior frozen slabs for clean ones. Requires the
+	// application to honor the Touch write-intent contract; the serialized
+	// state is byte-identical to a full freeze, so storage and recovery
+	// are unaffected. Off by default.
+	IncrementalFreeze bool
 }
 
 // Stats counts protocol activity for the evaluation harness.
@@ -117,9 +125,18 @@ type Stats struct {
 	// async pipeline's headline number.
 	CheckpointBlockedNs int64
 	CheckpointFlushNs   int64
-	SuppressedSends     int64
-	ReplayedLate        int64
-	ReplayedResults     int64
+	// CheckpointBytesCopied counts bytes memcopied into frozen views at
+	// capture time; with incremental freeze, clean regions re-reference
+	// the previous epoch's slabs and cost nothing, so the gap to
+	// CheckpointBytes is the dirty-tracking win. CheckpointRegionsDirty /
+	// CheckpointRegions count captured vs total regions (VDS variables +
+	// heap blocks) across all checkpoints.
+	CheckpointBytesCopied  int64
+	CheckpointRegionsDirty int64
+	CheckpointRegions      int64
+	SuppressedSends        int64
+	ReplayedLate           int64
+	ReplayedResults        int64
 }
 
 // AppMessage is a delivered application message (piggyback stripped).
@@ -238,6 +255,7 @@ func NewLayer(comm *mpi.Comm, cfg Config) *Layer {
 	// Rank 0 carries the replicated-data copies (Section 7's distributed
 	// redundant data optimization) and plays the initiator.
 	l.Saver.VDS.Primary = l.rank == 0
+	l.Saver.Incremental = cfg.IncrementalFreeze
 	if l.rank == 0 && cfg.Mode >= NoAppState {
 		l.init = &initiatorState{lastStart: time.Now()}
 	}

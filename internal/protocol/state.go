@@ -75,6 +75,10 @@ func (l *Layer) captureState() (*pendingCheckpoint, error) {
 			return nil, err
 		}
 		p.frozen = f
+		copied, dirty, regions := f.CopyStats()
+		l.Stats.CheckpointBytesCopied += copied
+		l.Stats.CheckpointRegionsDirty += int64(dirty)
+		l.Stats.CheckpointRegions += int64(regions)
 	}
 	return p, nil
 }

@@ -1,0 +1,48 @@
+// Package testseed gives every randomized test a reproducible seed
+// discipline: the base seed is deterministic per test by default, a
+// failure always reports the seed that produced it, and setting
+// CCIFT_TEST_SEED replays one exact seed.
+package testseed
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// Env is the environment variable that overrides the base seed for a
+// replay: CCIFT_TEST_SEED=<int64> pins every testseed-driven test to that
+// seed (a property loop then runs only the overridden sequence).
+const Env = "CCIFT_TEST_SEED"
+
+// Base returns the base seed for a randomized test: the value of
+// CCIFT_TEST_SEED when set (replay mode), otherwise def. It registers a
+// cleanup that prints the seed when the test fails, so a chaos or property
+// failure is always reproducible. Tests that derive per-iteration seeds
+// (base+i) should additionally name the failing seed in their own failure
+// messages; Base's cleanup guarantees the base is never lost even when
+// they forget.
+func Base(t testing.TB, def int64) int64 {
+	seed := def
+	replay := false
+	if v := os.Getenv(Env); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("testseed: bad %s=%q: %v", Env, v, err)
+		}
+		seed, replay = n, true
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("testseed: base seed %d (replay with %s=%d)", seed, Env, seed)
+		}
+	})
+	if replay {
+		t.Logf("testseed: replaying %s=%d", Env, seed)
+	}
+	return seed
+}
+
+// Replaying reports whether CCIFT_TEST_SEED pins this run to one seed;
+// property loops use it to run only the overridden sequence.
+func Replaying() bool { return os.Getenv(Env) != "" }

@@ -96,14 +96,15 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 		// This process is one spawned rank: run the worker role with the
 		// same spec the launcher-side call site built, and never return.
 		launch.WorkerMain(launch.WorkerApp{
-			Prog:           prog,
-			EveryN:         cfg.EveryN,
-			Interval:       cfg.Interval,
-			Seed:           cfg.Seed,
-			Debug:          cfg.Debug,
-			Mode:           cfg.Mode,
-			SyncCheckpoint: cfg.SyncCheckpoint,
-			ChunkSize:      cfg.ChunkSize,
+			Prog:              prog,
+			EveryN:            cfg.EveryN,
+			Interval:          cfg.Interval,
+			Seed:              cfg.Seed,
+			Debug:             cfg.Debug,
+			Mode:              cfg.Mode,
+			SyncCheckpoint:    cfg.SyncCheckpoint,
+			ChunkSize:         cfg.ChunkSize,
+			IncrementalFreeze: cfg.IncrementalFreeze,
 		})
 	}
 	kills := make([]launch.KillSpec, len(cfg.Failures))

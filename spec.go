@@ -84,6 +84,21 @@ func WithAsyncCheckpoint(enabled bool) Option {
 // across epochs. Zero selects the default (256 KiB).
 func WithChunkSize(n int) Option { return func(s *Spec) { s.cfg.ChunkSize = n } }
 
+// WithIncrementalFreeze toggles dirty-region checkpointing, which is OFF
+// by default: when enabled, the blocking freeze copies only the regions
+// (registered variables, heap blocks) the program touched since the last
+// checkpoint and re-references the previous epoch's frozen slabs for the
+// clean ones, so a mostly-clean epoch blocks for O(dirty) instead of
+// O(state). The program must honor the write-intent contract — call
+// Rank.Touch (or Heap().Touch for heap blocks) after the last write to a
+// region and before the next PotentialCheckpoint; scalar variables are
+// exempt, and registration/resize/unregister dirty implicitly. The
+// serialized checkpoint bytes are identical to a full freeze's, so chunk
+// dedup, storage and recovery are unaffected.
+func WithIncrementalFreeze(enabled bool) Option {
+	return func(s *Spec) { s.cfg.IncrementalFreeze = enabled }
+}
+
 // WithTracer streams protocol events from every rank (in-process substrate
 // only; the recorder lives in this process).
 func WithTracer(t Tracer) Option { return func(s *Spec) { s.cfg.Tracer = t } }
