@@ -77,6 +77,11 @@ type Result = engine.Result
 // sent, piggyback and control overhead, log volume, checkpoints taken.
 type Stats = protocol.Stats
 
+// RankStats pins one rank's final counters together with the incarnation
+// that produced them; Result.PerRank holds one per rank on both
+// substrates.
+type RankStats = protocol.RankStats
+
 // Mode selects how much of the system is active — the four program
 // versions measured in the paper's Figure 8.
 type Mode = protocol.Mode

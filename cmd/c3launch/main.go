@@ -38,6 +38,7 @@ func main() {
 	every := flag.Int("every", 0, "checkpoint every N PotentialCheckpoint calls on the initiator")
 	interval := flag.Duration("interval", 0, "checkpoint on a wall-clock interval")
 	storeDir := flag.String("store", "", "shared checkpoint directory (default: a scratch dir)")
+	metricsAddr := flag.String("metrics", "", "serve live Prometheus metrics at this address (e.g. :9090) on the launcher for the duration of the run")
 	detector := flag.Duration("detector", 2*time.Second, "heartbeat suspicion timeout")
 	seed := flag.Int64("seed", 0, "base seed for application randomness")
 	maxRestarts := flag.Int("max-restarts", 10, "bound on incarnation re-spawns")
@@ -51,14 +52,12 @@ func main() {
 
 	prog, stateBytes, err := apps.Build(*app, *ranks, *size, *iters)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
-		os.Exit(2)
+		apps.Fail("c3launch", fmt.Errorf("%w: %w", ccift.ErrSpec, err))
 	}
 
 	everyN, intv, err := apps.ResolveTrigger(*every, *interval)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
-		os.Exit(2)
+		apps.Fail("c3launch", fmt.Errorf("%w: %w", ccift.ErrSpec, err))
 	}
 	opts := []ccift.Option{
 		ccift.WithRanks(*ranks),
@@ -73,6 +72,9 @@ func main() {
 			DetectorTimeout: *detector,
 			Verbose:         *verbose,
 		}),
+	}
+	if *metricsAddr != "" {
+		opts = append(opts, ccift.WithMetricsAddr(*metricsAddr))
 	}
 	if intv > 0 {
 		opts = append(opts, ccift.WithInterval(intv))
@@ -96,8 +98,21 @@ func main() {
 	start := time.Now()
 	res, err := ccift.Launch(ctx, spec, prog) // in a worker process this call never returns
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "c3launch: %v\n", err)
-		os.Exit(1)
+		apps.Fail("c3launch", err)
 	}
 	fmt.Print(apps.Summary(res.Values, res.Restarts, res.RecoveredEpochs, time.Since(start)))
+
+	// The workers' protocol counters stream back to this launcher, so the
+	// distributed substrate reports the same stats line as c3run.
+	if len(res.PerRank) > 0 {
+		var total ccift.Stats
+		for _, pr := range res.PerRank {
+			total.Add(pr.Stats)
+		}
+		fmt.Printf("stats: %d msgs (%s), %d local checkpoints (%s), %d late logged (%s logs), %d replayed, %d sends suppressed\n",
+			total.MessagesSent, apps.HumanBytes(total.BytesSent),
+			total.CheckpointsTaken, apps.HumanBytes(total.CheckpointBytes),
+			total.LateLogged, apps.HumanBytes(total.LogBytes),
+			total.ReplayedLate, total.SuppressedSends)
+	}
 }

@@ -39,6 +39,7 @@ func main() {
 	every := flag.Int("every", 0, "checkpoint every N PotentialCheckpoint calls on the initiator")
 	interval := flag.Duration("interval", 0, "checkpoint on a wall-clock interval (the paper used 30s)")
 	storeDir := flag.String("store", "", "checkpoint directory (default: in memory)")
+	metricsAddr := flag.String("metrics", "", "serve live Prometheus metrics at this address (e.g. :9090) for the duration of the run")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0: no deadline)")
 	traceOut := flag.Bool("trace", false, "print a space-time diagram of protocol events")
 	distributed := flag.Bool("distributed", false, "run each rank as its own OS process over TCP (kills become real SIGKILLs)")
@@ -50,14 +51,12 @@ func main() {
 
 	prog, stateBytes, err := apps.Build(*app, *ranks, *size, *iters)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
-		os.Exit(2)
+		apps.Fail("c3run", fmt.Errorf("%w: %w", ccift.ErrSpec, err))
 	}
 
 	everyN, intv, err := apps.ResolveTrigger(*every, *interval)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
-		os.Exit(2)
+		apps.Fail("c3run", fmt.Errorf("%w: %w", ccift.ErrSpec, err))
 	}
 	opts := []ccift.Option{
 		ccift.WithRanks(*ranks),
@@ -65,6 +64,9 @@ func main() {
 		ccift.WithFailures(kills...),
 		ccift.WithAsyncCheckpoint(!*syncCkpt),
 		ccift.WithIncrementalFreeze(*incremental),
+	}
+	if *metricsAddr != "" {
+		opts = append(opts, ccift.WithMetricsAddr(*metricsAddr))
 	}
 	if intv > 0 {
 		opts = append(opts, ccift.WithInterval(intv))
@@ -86,8 +88,7 @@ func main() {
 		if *storeDir != "" {
 			store, err := ccift.NewDiskStore(*storeDir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
-				os.Exit(1)
+				apps.Fail("c3run", fmt.Errorf("%w: %w", ccift.ErrStore, err))
 			}
 			opts = append(opts, ccift.WithStore(store))
 		}
@@ -115,25 +116,16 @@ func main() {
 	start := time.Now()
 	res, err := ccift.Launch(ctx, spec, prog) // in a worker process this call never returns
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "c3run: %v\n", err)
-		os.Exit(1)
+		apps.Fail("c3run", err)
 	}
 	fmt.Print(apps.Summary(res.Values, res.Restarts, res.RecoveredEpochs, time.Since(start)))
 
-	if len(res.Stats) > 0 {
+	// PerRank is populated on both substrates (distributed workers stream
+	// their counters back to the launcher), so one stats path serves both.
+	if len(res.PerRank) > 0 {
 		var total ccift.Stats
-		for _, s := range res.Stats {
-			total.MessagesSent += s.MessagesSent
-			total.BytesSent += s.BytesSent
-			total.CheckpointsTaken += s.CheckpointsTaken
-			total.CheckpointBytes += s.CheckpointBytes
-			total.CheckpointBytesCopied += s.CheckpointBytesCopied
-			total.CheckpointRegionsDirty += s.CheckpointRegionsDirty
-			total.CheckpointRegions += s.CheckpointRegions
-			total.LateLogged += s.LateLogged
-			total.LogBytes += s.LogBytes
-			total.ReplayedLate += s.ReplayedLate
-			total.SuppressedSends += s.SuppressedSends
+		for _, pr := range res.PerRank {
+			total.Add(pr.Stats)
 		}
 		fmt.Printf("stats: %d msgs (%s), %d local checkpoints (%s), %d late logged (%s logs), %d replayed, %d sends suppressed\n",
 			total.MessagesSent, apps.HumanBytes(total.BytesSent),

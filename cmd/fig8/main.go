@@ -158,14 +158,7 @@ func main() {
 // chart the same computation.
 func distributedRunner(exe, app string, ranks int) harness.CellRunner {
 	return func(ctx context.Context, size harness.Size, mode protocol.Mode) (harness.Cell, error) {
-		args := []string{
-			"-wapp", app,
-			"-wranks", strconv.Itoa(ranks),
-			"-wsize", strconv.Itoa(size.Arg),
-			"-witers", strconv.Itoa(size.Iters),
-			"-wevery", strconv.Itoa(size.EveryN),
-			"-wmode", mode.String(),
-		}
+		args := cellArgs(app, ranks, size, mode)
 		start := time.Now()
 		res, err := launch.RunContext(ctx, launch.Config{
 			Exe:   exe,
@@ -189,9 +182,27 @@ func distributedRunner(exe, app string, ranks int) harness.CellRunner {
 		if checksum == "" {
 			return harness.Cell{}, fmt.Errorf("distributed cell: no result line in rank 0 output %q", res.Output)
 		}
-		// Per-rank protocol stats do not cross the process boundary, so
-		// the checkpoint-volume columns stay zero on this substrate.
-		return harness.Cell{Mode: mode, Seconds: elapsed, Checksum: checksum}, nil
+		// Workers stream their protocol counters back over the stats pipe,
+		// so the checkpoint-volume columns populate exactly as in-process.
+		cell := harness.Cell{Mode: mode, Seconds: elapsed, Checksum: checksum}
+		for _, s := range res.Stats {
+			cell.Checkpoints += s.CheckpointsTaken
+			cell.CheckpointMB += float64(s.CheckpointBytes) / 1e6
+			cell.LogMB += float64(s.LogBytes) / 1e6
+		}
+		return cell, nil
+	}
+}
+
+// cellArgs renders one cell's parameters as the -w* worker flags.
+func cellArgs(app string, ranks int, size harness.Size, mode protocol.Mode) []string {
+	return []string{
+		"-wapp", app,
+		"-wranks", strconv.Itoa(ranks),
+		"-wsize", strconv.Itoa(size.Arg),
+		"-witers", strconv.Itoa(size.Iters),
+		"-wevery", strconv.Itoa(size.EveryN),
+		"-wmode", mode.String(),
 	}
 }
 

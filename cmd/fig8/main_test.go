@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"testing"
+
+	"ccift/internal/harness"
+	"ccift/internal/launch"
+	"ccift/internal/protocol"
+)
+
+// TestMain lets the test binary serve as its own -distributed worker: the
+// launcher re-execs it with the -w* cell flags, which the real binary
+// parses in main(). main() does not run under `go test`, so the worker
+// role is dispatched here, before any test machinery touches os.Args.
+func TestMain(m *testing.M) {
+	if launch.IsWorker() {
+		fs := flag.NewFlagSet("fig8-worker", flag.ExitOnError)
+		wapp := fs.String("wapp", "", "")
+		wranks := fs.Int("wranks", 1, "")
+		wsize := fs.Int("wsize", 0, "")
+		witers := fs.Int("witers", 0, "")
+		wevery := fs.Int("wevery", 0, "")
+		wmode := fs.String("wmode", "", "")
+		if err := fs.Parse(os.Args[1:]); err != nil {
+			os.Exit(2)
+		}
+		workerMain(*wapp, *wranks, *wsize, *witers, *wevery, *wmode) // never returns
+	}
+	os.Exit(m.Run())
+}
+
+// TestDistributedCellStats pins the fig8 -distributed stats regression:
+// the per-version tables used to render with empty checkpoint-volume
+// columns because worker counters never crossed the process boundary.
+// A smoke-scale Full-mode cell must now report positive protocol stats,
+// per rank, through the very CellRunner the sweep uses.
+func TestDistributedCellStats(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 2
+	e := harness.LaplaceExperiment(ranks, harness.Smoke)
+	size := e.Sizes[0]
+
+	cell, err := distributedRunner(exe, "laplace", ranks)(context.Background(), size, protocol.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Checksum == "" {
+		t.Error("cell has no checksum")
+	}
+	if cell.Checkpoints == 0 {
+		t.Error("cell.Checkpoints = 0: worker stats did not cross the process boundary")
+	}
+	if cell.CheckpointMB == 0 {
+		t.Error("cell.CheckpointMB = 0: checkpoint-volume column would render empty")
+	}
+}
+
+// TestDistributedSweepPerRankMessages asserts the satellite contract
+// directly: every rank of a distributed sweep cell reports
+// MessagesSent > 0.
+func TestDistributedSweepPerRankMessages(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 2
+	size := harness.LaplaceExperiment(ranks, harness.Smoke).Sizes[0]
+	res, err := launch.RunContext(context.Background(), launch.Config{
+		Exe:   exe,
+		Ranks: ranks,
+		Args:  cellArgs("laplace", ranks, size, protocol.Full),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRank) != ranks {
+		t.Fatalf("PerRank has %d entries, want %d", len(res.PerRank), ranks)
+	}
+	for _, pr := range res.PerRank {
+		if pr.Stats.MessagesSent == 0 {
+			t.Errorf("rank %d: MessagesSent = 0", pr.Rank)
+		}
+	}
+}

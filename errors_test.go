@@ -1,0 +1,255 @@
+package ccift_test
+
+// The error-taxonomy contract: every error escaping Launch matches
+// EXACTLY one ccift.Err* sentinel via errors.Is, and the same failure
+// mode reports the same category on both substrates. The matrix below
+// drives every reachable failure mode through the public Launch call;
+// distributed cases re-exec this test binary as real worker processes
+// (see TestMain in launch_v1_test.go).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ccift"
+)
+
+// taxonomy is the complete public sentinel set; the exactly-one assertion
+// walks it, so a future sentinel added here is automatically covered.
+var taxonomy = map[string]error{
+	"ErrCanceled":    ccift.ErrCanceled,
+	"ErrWorldDead":   ccift.ErrWorldDead,
+	"ErrMaxRestarts": ccift.ErrMaxRestarts,
+	"ErrSpec":        ccift.ErrSpec,
+	"ErrStore":       ccift.ErrStore,
+	"ErrTransport":   ccift.ErrTransport,
+	"ErrProgram":     ccift.ErrProgram,
+}
+
+func assertExactlyOne(t *testing.T, err, want error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("Launch succeeded, want a categorized failure")
+	}
+	var matched []string
+	for name, s := range taxonomy {
+		if errors.Is(err, s) {
+			matched = append(matched, name)
+		}
+	}
+	if len(matched) != 1 {
+		t.Fatalf("err %q matches %v, want exactly one sentinel", err, matched)
+	}
+	if !errors.Is(err, want) {
+		t.Fatalf("err %q matched %v, want the %v category", err, matched, want)
+	}
+}
+
+// brokenStore fails every write — the in-process store-failure injection.
+type brokenStore struct{ ccift.Stable }
+
+func (brokenStore) Put(key string, data []byte) error {
+	return fmt.Errorf("injected write failure for %s", key)
+}
+
+func TestErrorTaxonomyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the distributed rows spawn real worker processes")
+	}
+	base := func(extra ...ccift.Option) []ccift.Option {
+		return append([]ccift.Option{
+			ccift.WithRanks(confRanks),
+			ccift.WithMode(ccift.Full),
+			ccift.WithEveryN(confEveryN),
+		}, extra...)
+	}
+	// A StoreDir nested under a regular file cannot be created: the
+	// distributed substrate's store failure.
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exhaustKills := []ccift.Failure{
+		{Rank: 1, AtOp: 60, Incarnation: 0},
+		{Rank: 1, AtOp: 60, Incarnation: 1},
+	}
+
+	cases := []struct {
+		name string
+		opts []ccift.Option
+		// workerProg selects the re-exec'd workers' program via progEnv
+		// ("" = the conformance program); the in-process run uses the
+		// same program directly.
+		workerProg string
+		ctx        func() context.Context
+		want       error
+		// substrates: by default a case runs on both; inprocOnly marks
+		// failure modes the distributed substrate cannot reach (world
+		// death needs a checkpoint-free mode, which distributed specs
+		// reject), distOnly ones that need real processes.
+		inprocOnly bool
+		distOnly   bool
+	}{
+		{
+			name: "bad spec",
+			opts: base(ccift.WithRanks(-3)),
+			want: ccift.ErrSpec,
+		},
+		{
+			name:     "conflicting spec options",
+			opts:     base(ccift.WithChaos(7, false)),
+			want:     ccift.ErrSpec,
+			distOnly: true, // WithChaos is valid in-process; the conflict is with WithDistributed
+		},
+		{
+			name: "canceled before start",
+			opts: base(),
+			ctx: func() context.Context {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				return ctx
+			},
+			want: ccift.ErrCanceled,
+		},
+		{
+			name:       "deadline mid-run",
+			opts:       base(),
+			workerProg: "hang",
+			ctx: func() context.Context {
+				ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+				_ = cancel // the run's end releases it; the deadline does the cancelling
+				return ctx
+			},
+			want: ccift.ErrCanceled,
+		},
+		{
+			name: "world death without recoverable checkpoints",
+			opts: []ccift.Option{
+				ccift.WithRanks(confRanks),
+				// NoAppState commits checkpoints that hold no application
+				// state, so the rollback after the kill finds a committed
+				// epoch it cannot recover from.
+				ccift.WithMode(ccift.NoAppState),
+				ccift.WithEveryN(confEveryN),
+				// Op 100 is comfortably past the first commit (which lands
+				// around op 70 at this scale), so a checkpoint exists.
+				ccift.WithFailures(ccift.Failure{Rank: 1, AtOp: 100}),
+			},
+			want:       ccift.ErrWorldDead,
+			inprocOnly: true,
+		},
+		{
+			name: "restart budget exhausted",
+			opts: base(ccift.WithMaxRestarts(1), ccift.WithFailures(exhaustKills...)),
+			want: ccift.ErrMaxRestarts,
+		},
+		{
+			name:       "store write failure",
+			opts:       base(ccift.WithStore(brokenStore{ccift.NewMemoryStore()})),
+			want:       ccift.ErrStore,
+			inprocOnly: true, // the distributed row injects through StoreDir below
+		},
+		{
+			name:     "store directory unusable",
+			opts:     base(),
+			want:     ccift.ErrStore,
+			distOnly: true,
+		},
+		{
+			name:       "program error",
+			opts:       base(),
+			workerProg: "fail",
+			want:       ccift.ErrProgram,
+		},
+		{
+			name:     "worker binary unspawnable",
+			opts:     base(),
+			want:     ccift.ErrTransport,
+			distOnly: true,
+		},
+	}
+
+	for _, tc := range cases {
+		run := func(t *testing.T, distributed bool) {
+			opts := tc.opts
+			if distributed {
+				d := ccift.Distributed{Stderr: io.Discard}
+				switch tc.name {
+				case "store directory unusable":
+					d.StoreDir = filepath.Join(notADir, "store")
+				case "worker binary unspawnable":
+					d.Exe = filepath.Join(t.TempDir(), "no-such-binary")
+				}
+				opts = append(opts, ccift.WithDistributed(d))
+				// The re-exec'd workers pick their program from progEnv.
+				t.Setenv(progEnv, tc.workerProg)
+			}
+			prog := conformanceProg()
+			switch tc.workerProg {
+			case "hang":
+				prog = hangProg()
+			case "fail":
+				prog = failProg()
+			}
+			ctx := context.Background()
+			if tc.ctx != nil {
+				ctx = tc.ctx()
+			}
+			_, err := ccift.Launch(ctx, ccift.NewSpec(opts...), prog)
+			assertExactlyOne(t, err, tc.want)
+		}
+		if !tc.distOnly {
+			t.Run(tc.name+"/inprocess", func(t *testing.T) { run(t, false) })
+		}
+		if !tc.inprocOnly {
+			t.Run(tc.name+"/distributed", func(t *testing.T) { run(t, true) })
+		}
+	}
+}
+
+// TestErrMaxRestartsCompat pins the migration promise: the historical
+// ErrTooManyRestarts and the taxonomy's ErrMaxRestarts identify the same
+// failures, so pre-taxonomy errors.Is checks keep working.
+func TestErrMaxRestartsCompat(t *testing.T) {
+	_, err := ccift.Launch(context.Background(), ccift.NewSpec(
+		ccift.WithRanks(confRanks),
+		ccift.WithMode(ccift.Full),
+		ccift.WithEveryN(confEveryN),
+		ccift.WithMaxRestarts(1),
+		ccift.WithFailures(
+			ccift.Failure{Rank: 1, AtOp: 60, Incarnation: 0},
+			ccift.Failure{Rank: 1, AtOp: 60, Incarnation: 1},
+		),
+	), conformanceProg())
+	if !errors.Is(err, ccift.ErrTooManyRestarts) {
+		t.Fatalf("err %v does not match the historical ErrTooManyRestarts", err)
+	}
+	if !errors.Is(err, ccift.ErrMaxRestarts) {
+		t.Fatalf("err %v does not match ErrMaxRestarts", err)
+	}
+}
+
+// TestExitCodeMapping pins the CLI contract: one exit code per category,
+// recoverable back to the sentinel.
+func TestExitCodeMapping(t *testing.T) {
+	codes := map[int]bool{}
+	for name, s := range taxonomy {
+		code := ccift.ExitCode(s)
+		if code == 0 {
+			t.Errorf("%s maps to exit code 0 (success)", name)
+		}
+		if codes[code] {
+			t.Errorf("%s shares exit code %d with another category", name, code)
+		}
+		codes[code] = true
+	}
+	if got := ccift.ExitCode(nil); got != 0 {
+		t.Errorf("ExitCode(nil) = %d, want 0", got)
+	}
+}

@@ -10,10 +10,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math"
+	"os"
 
 	"ccift"
 )
@@ -41,13 +42,22 @@ func main() {
 	}
 	res, err := ccift.Launch(context.Background(), ccift.NewSpec(opts...), cgProgram(*n, *iters))
 	if err != nil {
-		log.Fatal(err)
+		// errors.Is against the ccift.Err* sentinels, never the message.
+		switch {
+		case errors.Is(err, ccift.ErrMaxRestarts):
+			fmt.Fprintln(os.Stderr, "cg: restart budget exhausted:", err)
+		case errors.Is(err, ccift.ErrProgram):
+			fmt.Fprintln(os.Stderr, "cg: application error:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "cg:", err)
+		}
+		os.Exit(ccift.ExitCode(err))
 	}
 	fmt.Printf("solution checksum: %v (restarts: %d)\n", res.Values[0], res.Restarts)
 	var ckpts, bytes int64
-	for _, s := range res.Stats {
-		ckpts += s.CheckpointsTaken
-		bytes += s.CheckpointBytes
+	for _, pr := range res.PerRank {
+		ckpts += pr.Stats.CheckpointsTaken
+		bytes += pr.Stats.CheckpointBytes
 	}
 	fmt.Printf("checkpoints: %d local, %.1f MB written\n", ckpts, float64(bytes)/1e6)
 }

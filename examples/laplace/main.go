@@ -11,9 +11,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 	"time"
 
 	"ccift"
@@ -42,13 +43,19 @@ func main() {
 		ccift.WithInterval(*interval),
 	), laplaceProgram(*n, *iters))
 	if err != nil {
-		log.Fatal(err)
+		// errors.Is against the ccift.Err* sentinels, never the message.
+		if errors.Is(err, ccift.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "laplace: canceled:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "laplace:", err)
+		}
+		os.Exit(ccift.ExitCode(err))
 	}
 	var ckpts int64
 	var mb float64
-	for _, s := range res.Stats {
-		ckpts += s.CheckpointsTaken
-		mb += float64(s.CheckpointBytes) / 1e6
+	for _, pr := range res.PerRank {
+		ckpts += pr.Stats.CheckpointsTaken
+		mb += float64(pr.Stats.CheckpointBytes) / 1e6
 	}
 	fmt.Printf("heat checksum: %v\n", res.Values[0])
 	fmt.Printf("%.2fs elapsed, %d local checkpoints (%.1f MB) at a %v interval\n",

@@ -10,10 +10,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math"
+	"os"
 	"time"
 
 	"ccift"
@@ -41,15 +42,21 @@ func main() {
 		start := time.Now()
 		res, err := ccift.Launch(context.Background(), spec, neurosysProgram(*k, *iters))
 		if err != nil {
-			log.Fatal(err)
+			// errors.Is against the ccift.Err* sentinels, never the message.
+			if errors.Is(err, ccift.ErrSpec) {
+				fmt.Fprintln(os.Stderr, "neurosys: invalid spec:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "neurosys:", err)
+			}
+			os.Exit(ccift.ExitCode(err))
 		}
 		elapsed := time.Since(start).Seconds()
 		if mode == ccift.Unmodified {
 			base = elapsed
 		}
 		var ctl int64
-		for _, s := range res.Stats {
-			ctl += s.ControlCollectives
+		for _, pr := range res.PerRank {
+			ctl += pr.Stats.ControlCollectives
 		}
 		fmt.Printf("%-15v %.3fs  (%+.1f%%)  control collectives: %d  checksum: %v\n",
 			mode, elapsed, (elapsed/base-1)*100, ctl, res.Values[0])

@@ -15,9 +15,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"ccift"
 )
@@ -34,7 +35,13 @@ func main() {
 		return worker(r, 30), nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		// errors.Is against the ccift.Err* sentinels, never the message.
+		if errors.Is(err, ccift.ErrProgram) {
+			fmt.Fprintln(os.Stderr, "precompiled: application error:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "precompiled:", err)
+		}
+		os.Exit(ccift.ExitCode(err))
 	}
 	fmt.Printf("values: %v (restarts: %d, recovered epochs: %v)\n",
 		res.Values, res.Restarts, res.RecoveredEpochs)

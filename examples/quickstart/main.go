@@ -7,9 +7,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"os"
 
 	"ccift"
 )
@@ -49,9 +50,21 @@ func main() {
 		ccift.WithFailures(ccift.Failure{Rank: 2, AtOp: 120}),
 	), prog)
 	if err != nil {
-		log.Fatal(err)
+		// Dispatch on the error taxonomy, not message text: every Launch
+		// error matches exactly one ccift.Err* sentinel via errors.Is.
+		if errors.Is(err, ccift.ErrMaxRestarts) {
+			fmt.Fprintln(os.Stderr, "quickstart: restart budget exhausted:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+		}
+		os.Exit(ccift.ExitCode(err))
 	}
 
 	fmt.Printf("result on every rank: %v\n", res.Values)
 	fmt.Printf("restarts: %d, recovered from epochs: %v\n", res.Restarts, res.RecoveredEpochs)
+	// Per-rank protocol counters are always populated (on the distributed
+	// substrate too — workers stream them back to the launcher).
+	for _, pr := range res.PerRank {
+		fmt.Printf("rank %d: %d checkpoints (%d bytes)\n", pr.Rank, pr.Stats.CheckpointsTaken, pr.Stats.CheckpointBytes)
+	}
 }

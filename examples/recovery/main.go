@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -70,7 +71,16 @@ func main() {
 		),
 	), prog)
 	if err != nil {
-		log.Fatal(err)
+		// errors.Is against the ccift.Err* sentinels, never the message.
+		switch {
+		case errors.Is(err, ccift.ErrStore):
+			fmt.Fprintln(os.Stderr, "recovery: checkpoint store failed:", err)
+		case errors.Is(err, ccift.ErrMaxRestarts):
+			fmt.Fprintln(os.Stderr, "recovery: restart budget exhausted:", err)
+		default:
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+		}
+		os.Exit(ccift.ExitCode(err))
 	}
 
 	fmt.Printf("checkpoints stored under %s\n", dir)
@@ -82,7 +92,8 @@ func main() {
 
 	var late, replayed, suppressed, events int64
 	var blockedNs, flushNs, logical, written int64
-	for _, s := range res.Stats {
+	for _, pr := range res.PerRank {
+		s := pr.Stats
 		late += s.LateLogged
 		replayed += s.ReplayedLate
 		suppressed += s.SuppressedSends

@@ -4,7 +4,9 @@
 package apps
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -12,11 +14,33 @@ import (
 	"ccift/internal/apps/cg"
 	"ccift/internal/apps/laplace"
 	"ccift/internal/apps/neurosys"
+	"ccift/internal/cerr"
 	"ccift/internal/engine"
 )
 
 // Names lists the registered applications.
 func Names() []string { return []string{"cg", "laplace", "neurosys"} }
+
+// Fail is the drivers' shared error exit: it reports err on stderr with a
+// hint for the taxonomy category it matches, then exits with the
+// category's conventional exit code (the ccift.ExitCode mapping), so
+// shell scripts dispatch on $? the way Go code uses errors.Is.
+func Fail(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	switch {
+	case errors.Is(err, cerr.ErrMaxRestarts):
+		fmt.Fprintf(os.Stderr, "%s: the failure schedule exhausted the restart budget (raise -max-restarts?)\n", tool)
+	case errors.Is(err, cerr.ErrCanceled):
+		fmt.Fprintf(os.Stderr, "%s: the run was canceled before completing\n", tool)
+	case errors.Is(err, cerr.ErrWorldDead):
+		fmt.Fprintf(os.Stderr, "%s: a rank died with no recoverable checkpoint to roll back to\n", tool)
+	case errors.Is(err, cerr.ErrStore):
+		fmt.Fprintf(os.Stderr, "%s: the checkpoint store failed underneath the run\n", tool)
+	case errors.Is(err, cerr.ErrTransport):
+		fmt.Fprintf(os.Stderr, "%s: the wire substrate failed (spawn, mesh formation, rendezvous)\n", tool)
+	}
+	os.Exit(cerr.ExitCode(err))
+}
 
 // KillFlag parses the drivers' repeatable -kill rank@op flags into a
 // failure schedule; the i-th flag applies to incarnation i, so a sequence

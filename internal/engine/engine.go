@@ -6,12 +6,12 @@ package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ccift/internal/cerr"
 	"ccift/internal/ckpt"
 	"ccift/internal/detector"
 	"ccift/internal/mpi"
@@ -91,6 +91,16 @@ type Config struct {
 	// contract for every registered non-scalar value it mutates — an
 	// untracked write recovers stale. Off by default.
 	IncrementalFreeze bool
+	// StatsSink, when non-nil, receives live per-rank counter snapshots as
+	// the run progresses (each completed checkpoint and each rank's
+	// finish), tagged with rank and incarnation. Called concurrently from
+	// rank goroutines; the sink must synchronize (protocol.Aggregator
+	// does). The public metrics endpoint is fed from here.
+	StatsSink func(protocol.StatsFrame)
+	// OnRestart, when non-nil, is called after each rollback-restart
+	// decision with the cumulative restart count, before the next
+	// incarnation spawns.
+	OnRestart func(restarts int)
 }
 
 // Result reports a completed run.
@@ -108,11 +118,17 @@ type Result struct {
 	// Stats aggregates the protocol-layer statistics of the final
 	// incarnation, per rank.
 	Stats []protocol.Stats
+	// PerRank is Stats with each entry tagged by rank and incarnation —
+	// the shape both substrates report, so observability code written
+	// against it is substrate-independent.
+	PerRank []protocol.RankStats
 }
 
 // ErrTooManyRestarts is returned when the failure schedule exhausts
-// MaxRestarts.
-var ErrTooManyRestarts = errors.New("engine: too many restarts")
+// MaxRestarts. It wraps the taxonomy's cerr.ErrMaxRestarts, so both the
+// historical errors.Is(err, ErrTooManyRestarts) check and the public
+// ccift.ErrMaxRestarts category match the same errors.
+var ErrTooManyRestarts = fmt.Errorf("engine: too many restarts: %w", cerr.ErrMaxRestarts)
 
 // RunError is the structured failure report of a run: which rank ended it
 // (-1 when the failure is not attributable to one rank), in which
@@ -155,33 +171,33 @@ func (e *RunError) Unwrap() error { return e.Err }
 // the public API's spec validation.
 func (cfg Config) Validate() error {
 	if cfg.Ranks <= 0 {
-		return fmt.Errorf("engine: Ranks must be positive, got %d", cfg.Ranks)
+		return fmt.Errorf("%w: Ranks must be positive, got %d", cerr.ErrSpec, cfg.Ranks)
 	}
 	if cfg.MaxRestarts < 0 {
-		return fmt.Errorf("engine: MaxRestarts must not be negative, got %d", cfg.MaxRestarts)
+		return fmt.Errorf("%w: MaxRestarts must not be negative, got %d", cerr.ErrSpec, cfg.MaxRestarts)
 	}
 	if cfg.EveryN < 0 {
-		return fmt.Errorf("engine: EveryN must not be negative, got %d", cfg.EveryN)
+		return fmt.Errorf("%w: EveryN must not be negative, got %d", cerr.ErrSpec, cfg.EveryN)
 	}
 	if cfg.Interval < 0 {
-		return fmt.Errorf("engine: Interval must not be negative, got %v", cfg.Interval)
+		return fmt.Errorf("%w: Interval must not be negative, got %v", cerr.ErrSpec, cfg.Interval)
 	}
 	if cfg.EveryN > 0 && cfg.Interval > 0 {
-		return fmt.Errorf("engine: conflicting checkpoint triggers: EveryN (%d) and Interval (%v) are mutually exclusive — pick one",
-			cfg.EveryN, cfg.Interval)
+		return fmt.Errorf("%w: conflicting checkpoint triggers: EveryN (%d) and Interval (%v) are mutually exclusive — pick one",
+			cerr.ErrSpec, cfg.EveryN, cfg.Interval)
 	}
 	if cfg.ChunkSize < 0 {
-		return fmt.Errorf("engine: ChunkSize must not be negative, got %d", cfg.ChunkSize)
+		return fmt.Errorf("%w: ChunkSize must not be negative, got %d", cerr.ErrSpec, cfg.ChunkSize)
 	}
 	for i, f := range cfg.Failures {
 		if f.Rank < 0 || f.Rank >= cfg.Ranks {
-			return fmt.Errorf("engine: Failures[%d]: rank %d out of range [0,%d)", i, f.Rank, cfg.Ranks)
+			return fmt.Errorf("%w: Failures[%d]: rank %d out of range [0,%d)", cerr.ErrSpec, i, f.Rank, cfg.Ranks)
 		}
 		if f.AtOp <= 0 {
-			return fmt.Errorf("engine: Failures[%d]: AtOp must be positive, got %d", i, f.AtOp)
+			return fmt.Errorf("%w: Failures[%d]: AtOp must be positive, got %d", cerr.ErrSpec, i, f.AtOp)
 		}
 		if f.Incarnation < 0 {
-			return fmt.Errorf("engine: Failures[%d]: Incarnation must not be negative, got %d", i, f.Incarnation)
+			return fmt.Errorf("%w: Failures[%d]: Incarnation must not be negative, got %d", cerr.ErrSpec, i, f.Incarnation)
 		}
 	}
 	return nil
@@ -226,7 +242,7 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 				when = "during rollback"
 			}
 			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
-				Err: fmt.Errorf("run canceled %s: %w", when, cause)}
+				Err: fmt.Errorf("%w %s: %w", cerr.ErrCanceled, when, cause)}
 		}
 		if incarnation > cfg.MaxRestarts {
 			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
@@ -234,12 +250,13 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 		}
 		epoch, haveCkpt, err := cs.Committed()
 		if err != nil {
-			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts, Err: err}
+			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
+				Err: fmt.Errorf("%w: read commit record: %w", cerr.ErrStore, err)}
 		}
 		if incarnation > 0 {
 			if haveCkpt && cfg.Mode != protocol.Full {
 				return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
-					Err: fmt.Errorf("cannot recover from a checkpoint in mode %v", cfg.Mode)}
+					Err: fmt.Errorf("%w: cannot recover from a checkpoint in mode %v", cerr.ErrWorldDead, cfg.Mode)}
 			}
 			rec := -1
 			if haveCkpt {
@@ -260,7 +277,7 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 				ids, err := protocol.LoadEarlyIDs(cs, epoch, r)
 				if err != nil {
 					return nil, &RunError{Rank: r, Incarnation: incarnation, Restarts: res.Restarts,
-						Err: fmt.Errorf("load early IDs: %w", err)}
+						Err: fmt.Errorf("%w: load early IDs: %w", cerr.ErrStore, err)}
 				}
 				for sender, set := range ids {
 					suppress[sender] = append(suppress[sender], set...)
@@ -273,13 +290,13 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 			primaryApp, err := protocol.LoadAppState(cs, epoch, 0)
 			if err != nil {
 				return nil, &RunError{Rank: 0, Incarnation: incarnation, Restarts: res.Restarts,
-					Err: fmt.Errorf("load primary app state: %w", err)}
+					Err: fmt.Errorf("%w: load primary app state: %w", cerr.ErrStore, err)}
 			}
 			if len(primaryApp) > 0 {
 				replicas, err = ckpt.ExtractReplicated(primaryApp)
 				if err != nil {
 					return nil, &RunError{Rank: 0, Incarnation: incarnation, Restarts: res.Restarts,
-						Err: fmt.Errorf("extract replicated data: %w", err)}
+						Err: fmt.Errorf("%w: extract replicated data: %w", cerr.ErrStore, err)}
 				}
 			}
 		}
@@ -298,10 +315,13 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 				cause = mpi.ErrCanceled
 			}
 			return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
-				Err: fmt.Errorf("run canceled: %w", cause)}
+				Err: fmt.Errorf("%w: %w", cerr.ErrCanceled, cause)}
 		}
 		if out.failed {
 			res.Restarts++
+			if cfg.OnRestart != nil {
+				cfg.OnRestart(res.Restarts)
+			}
 			continue
 		}
 		if out.err != nil {
@@ -311,6 +331,10 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 		}
 		res.Values = out.values
 		res.Stats = out.stats
+		res.PerRank = make([]protocol.RankStats, len(out.stats))
+		for r, s := range out.stats {
+			res.PerRank[r] = protocol.RankStats{Rank: r, Incarnation: incarnation, Stats: s}
+		}
 		return res, nil
 	}
 }
@@ -365,16 +389,34 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 			defer func() {
 				if p := recover(); p != nil {
 					panics[r] = p
-					if p == mpi.ErrKilled && !useDetector {
-						// Default fail-stop self-report: the death is
-						// announced instantly and survivors unblock. With
-						// the heartbeat detector enabled, the dead rank
-						// stays silent and the detector raises the alarm
-						// after its timeout instead.
+					switch p {
+					case mpi.ErrKilled:
+						if !useDetector {
+							// Default fail-stop self-report: the death is
+							// announced instantly and survivors unblock. With
+							// the heartbeat detector enabled, the dead rank
+							// stays silent and the detector raises the alarm
+							// after its timeout instead.
+							world.Shutdown()
+						}
+					case mpi.ErrWorldDead, mpi.ErrCanceled:
+						// Already a global unwind; nothing to announce.
+					default:
+						// An internal failure (store write, restore, an
+						// application panic) is fail-stop too: announce it so
+						// survivors parked in receives unblock instead of
+						// waiting forever on a rank that will never send.
 						world.Shutdown()
 					}
 				}
 			}()
+			var sink func(protocol.Stats)
+			if cfg.StatsSink != nil {
+				sink = func(s protocol.Stats) {
+					cfg.StatsSink(protocol.StatsFrame{V: protocol.StatsWireVersion,
+						Rank: r, Incarnation: incarnation, Stats: s})
+				}
+			}
 			layer := protocol.NewLayer(world.Comm(r), protocol.Config{
 				Mode:              cfg.Mode,
 				Store:             cs,
@@ -386,6 +428,7 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 				AsyncFlush:        !cfg.SyncCheckpoint,
 				ChunkSize:         cfg.ChunkSize,
 				IncrementalFreeze: cfg.IncrementalFreeze,
+				StatsSink:         sink,
 			})
 			// The background flusher must not outlive this incarnation:
 			// Shutdown waits for an in-flight state write (registered after
@@ -397,11 +440,11 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 			if restore {
 				app, err := layer.Restore(epoch, suppress[r])
 				if err != nil {
-					panic(fmt.Sprintf("engine: rank %d restore: %v", r, err))
+					panic(fmt.Errorf("engine: rank %d restore: %w: %w", r, cerr.ErrStore, err))
 				}
 				layer.Saver.VDS.SetReplicas(replicas)
 				if err := layer.Saver.StartRestore(app); err != nil {
-					panic(fmt.Sprintf("engine: rank %d app restore: %v", r, err))
+					panic(fmt.Errorf("engine: rank %d app restore: %w: %w", r, cerr.ErrStore, err))
 				}
 				rank.restarting = true
 			}
@@ -429,6 +472,10 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 				errs[r] = err
 			}
 			stats[r] = layer.Stats
+			if cfg.StatsSink != nil {
+				cfg.StatsSink(protocol.StatsFrame{V: protocol.StatsWireVersion,
+					Rank: r, Incarnation: incarnation, Final: true, Stats: layer.Stats})
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -440,18 +487,34 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 			return incarnationResult{canceled: true}
 		}
 	}
+	// A real panic (store failure, application bug) dominates ErrKilled /
+	// ErrWorldDead: the shutdown it triggered to unblock the survivors is
+	// collateral, not the cause, so scan for the cause first.
 	for r := 0; r < n; r++ {
 		switch panics[r] {
-		case nil:
+		case nil, mpi.ErrKilled, mpi.ErrWorldDead:
+		default:
+			// A panic carrying an already-categorized error (a store failure
+			// raised by the flusher, a restore failure) keeps its category;
+			// anything else is the application's fault.
+			var perr error
+			if e, ok := panics[r].(error); ok && cerr.Category(e) != nil {
+				perr = e
+			} else {
+				perr = fmt.Errorf("%w: rank panicked: %v", cerr.ErrProgram, panics[r])
+			}
+			return incarnationResult{err: &RunError{Rank: r, Err: perr}}
+		}
+	}
+	for r := 0; r < n; r++ {
+		switch panics[r] {
 		case mpi.ErrKilled, mpi.ErrWorldDead:
 			return incarnationResult{failed: true}
-		default:
-			return incarnationResult{err: &RunError{Rank: r, Err: fmt.Errorf("rank panicked: %v", panics[r])}}
 		}
 	}
 	for r := 0; r < n; r++ {
 		if errs[r] != nil {
-			return incarnationResult{err: &RunError{Rank: r, Err: errs[r]}}
+			return incarnationResult{err: &RunError{Rank: r, Err: cerr.Ensure(errs[r], cerr.ErrProgram)}}
 		}
 	}
 	return incarnationResult{values: values, stats: stats}

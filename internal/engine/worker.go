@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"ccift/internal/cerr"
 	"ccift/internal/ckpt"
 	"ccift/internal/mpi"
 	"ccift/internal/protocol"
@@ -70,6 +71,11 @@ type WorkerConfig struct {
 	// in-process engine's finished counter. Both required.
 	AnnounceDone func()
 	AllDone      func() bool
+	// StatsSink, when non-nil, receives this rank's counter snapshots as
+	// the incarnation progresses — at each completed checkpoint and once,
+	// marked Final, as the worker unwinds (normal completion AND rollback
+	// exit, so the launcher sees the counters of killed incarnations too).
+	StatsSink func(protocol.StatsFrame)
 }
 
 // WorkerResult reports one completed (or aborted) worker incarnation.
@@ -96,19 +102,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 		ctx = context.Background()
 	}
 	if cfg.Rank < 0 || cfg.Rank >= cfg.Ranks || cfg.Ranks <= 0 {
-		return res, fmt.Errorf("engine: worker rank %d out of range [0,%d)", cfg.Rank, cfg.Ranks)
+		return res, fmt.Errorf("%w: worker rank %d out of range [0,%d)", cerr.ErrSpec, cfg.Rank, cfg.Ranks)
 	}
 	if cfg.Store == nil || cfg.NewTransport == nil || cfg.Start == nil || cfg.AnnounceDone == nil || cfg.AllDone == nil {
-		return res, errors.New("engine: worker requires Store, NewTransport, Start, AnnounceDone, and AllDone")
+		return res, fmt.Errorf("%w: worker requires Store, NewTransport, Start, AnnounceDone, and AllDone", cerr.ErrSpec)
 	}
 	cs := storage.NewCheckpointStore(cfg.Store)
 	epoch, haveCkpt, err := cs.Committed()
 	if err != nil {
-		return res, err
+		return res, fmt.Errorf("%w: read commit record: %w", cerr.ErrStore, err)
 	}
 	restore := cfg.Incarnation > 0 && haveCkpt
 	if restore && cfg.Mode != protocol.Full {
-		return res, fmt.Errorf("engine: cannot recover from a checkpoint in mode %v", cfg.Mode)
+		return res, fmt.Errorf("%w: cannot recover from a checkpoint in mode %v", cerr.ErrWorldDead, cfg.Mode)
 	}
 
 	// Recovery preparation reads only the shared store, so each worker
@@ -122,18 +128,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 		for r := 0; r < cfg.Ranks; r++ {
 			ids, err := protocol.LoadEarlyIDs(cs, epoch, r)
 			if err != nil {
-				return res, fmt.Errorf("engine: load early IDs of rank %d: %w", r, err)
+				return res, fmt.Errorf("engine: load early IDs of rank %d: %w: %w", r, cerr.ErrStore, err)
 			}
 			suppress = append(suppress, ids[cfg.Rank]...)
 		}
 		primaryApp, err := protocol.LoadAppState(cs, epoch, 0)
 		if err != nil {
-			return res, fmt.Errorf("engine: load primary app state: %w", err)
+			return res, fmt.Errorf("engine: load primary app state: %w: %w", cerr.ErrStore, err)
 		}
 		if len(primaryApp) > 0 {
 			replicas, err = ckpt.ExtractReplicated(primaryApp)
 			if err != nil {
-				return res, fmt.Errorf("engine: extract replicated data: %w", err)
+				return res, fmt.Errorf("engine: extract replicated data: %w: %w", cerr.ErrStore, err)
 			}
 		}
 		res.RecoveredEpoch = epoch
@@ -150,7 +156,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	stopCancel := context.AfterFunc(ctx, world.Cancel)
 	defer stopCancel()
 	if err := cfg.Start(); err != nil {
-		return res, fmt.Errorf("engine: start transport: %w", err)
+		return res, fmt.Errorf("engine: start transport: %w: %w", cerr.ErrTransport, err)
 	}
 
 	// A stop failure is delivered by panic (ErrKilled for this rank's own
@@ -167,13 +173,26 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 				if cause == nil {
 					cause = mpi.ErrCanceled
 				}
-				err = fmt.Errorf("engine: worker rank %d canceled: %w", cfg.Rank, cause)
+				err = fmt.Errorf("engine: worker rank %d canceled: %w: %w", cfg.Rank, cerr.ErrCanceled, cause)
 			default:
-				err = fmt.Errorf("engine: worker rank %d panicked: %v", cfg.Rank, p)
+				// Keep the category of an error-valued panic (flusher store
+				// failures); everything else is the application's fault.
+				if e, ok := p.(error); ok && cerr.Category(e) != nil {
+					err = e
+				} else {
+					err = fmt.Errorf("engine: worker rank %d panicked: %w: %v", cfg.Rank, cerr.ErrProgram, p)
+				}
 			}
 		}
 	}()
 
+	var sink func(protocol.Stats)
+	if cfg.StatsSink != nil {
+		sink = func(s protocol.Stats) {
+			cfg.StatsSink(protocol.StatsFrame{V: protocol.StatsWireVersion,
+				Rank: cfg.Rank, Incarnation: cfg.Incarnation, Stats: s})
+		}
+	}
 	layer := protocol.NewLayer(world.Comm(cfg.Rank), protocol.Config{
 		Mode:              cfg.Mode,
 		Store:             cs,
@@ -185,7 +204,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 		AsyncFlush:        !cfg.SyncCheckpoint,
 		ChunkSize:         cfg.ChunkSize,
 		IncrementalFreeze: cfg.IncrementalFreeze,
+		StatsSink:         sink,
 	})
+	// Final stats frame, registered before the Shutdown defer below so it
+	// runs AFTER the flusher drains (defers are LIFO): the snapshot then
+	// includes any checkpoint that was still flushing, and — because defers
+	// run on panic unwinds too — the launcher receives the counters of an
+	// incarnation that just died in a rollback.
+	if cfg.StatsSink != nil {
+		defer func() {
+			cfg.StatsSink(protocol.StatsFrame{V: protocol.StatsWireVersion,
+				Rank: cfg.Rank, Incarnation: cfg.Incarnation, Final: true, Stats: layer.Stats})
+		}()
+	}
 	// Registered after the recover defer, so a stop-failure unwind stops
 	// the flusher (waiting out any in-flight write) before the process
 	// reports rollback and exits.
@@ -194,18 +225,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	if restore {
 		app, err := layer.Restore(epoch, suppress)
 		if err != nil {
-			return res, fmt.Errorf("engine: rank %d restore: %w", cfg.Rank, err)
+			return res, fmt.Errorf("engine: rank %d restore: %w: %w", cfg.Rank, cerr.ErrStore, err)
 		}
 		layer.Saver.VDS.SetReplicas(replicas)
 		if err := layer.Saver.StartRestore(app); err != nil {
-			return res, fmt.Errorf("engine: rank %d app restore: %w", cfg.Rank, err)
+			return res, fmt.Errorf("engine: rank %d app restore: %w: %w", cfg.Rank, cerr.ErrStore, err)
 		}
 		rank.restarting = true
 	}
 
 	v, perr := prog(rank)
 	if perr != nil {
-		return res, fmt.Errorf("engine: rank %d: %w", cfg.Rank, perr)
+		return res, fmt.Errorf("engine: rank %d: %w", cfg.Rank, cerr.Ensure(perr, cerr.ErrProgram))
 	}
 	layer.Finish()
 	// Keep servicing protocol control traffic until every rank is done, so
@@ -222,7 +253,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	// modes AllDone already holds and the loop is skipped.
 	for !cfg.AllDone() {
 		if err := ctx.Err(); err != nil {
-			return res, fmt.Errorf("engine: worker rank %d canceled: %w", cfg.Rank, err)
+			return res, fmt.Errorf("engine: worker rank %d canceled: %w: %w", cfg.Rank, cerr.ErrCanceled, err)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"ccift/internal/cerr"
 	"ccift/internal/engine"
 	"ccift/internal/mpi/tcptransport"
 	"ccift/internal/protocol"
@@ -41,13 +42,18 @@ const (
 	envStore       = "CCIFT_STORE_DIR"   // shared checkpoint directory
 	envKillAtOp    = "CCIFT_KILL_AT_OP"  // self-SIGKILL at this substrate op (doomed rank only)
 	envDetector    = "CCIFT_DETECTOR_MS" // heartbeat suspicion timeout, milliseconds
+	envStatsFD     = "CCIFT_STATS_FD"    // fd of the stats stream pipe (write end)
 )
 
-// Exit codes workers report back to the launcher.
+// Exit codes workers report back to the launcher: cerr's shared exit-code
+// protocol, so a worker's error category survives the process boundary.
+// exitOK ends the job, exitRollback schedules a re-spawn, and every other
+// code is a hard failure whose category the launcher recovers with
+// cerr.FromExitCode.
 const (
-	exitOK       = 0
-	exitError    = 1 // program or configuration error: the launcher gives up
-	exitRollback = 3 // incarnation died (a peer stop-failed): re-spawn
+	exitOK       = cerr.CodeOK
+	exitError    = cerr.CodeProgram // program or uncategorizable error: the launcher gives up
+	exitRollback = cerr.CodeRollback
 )
 
 // KillSpec schedules a real SIGKILL: the rank's process kills itself at its
@@ -83,6 +89,15 @@ type Config struct {
 	// Verbose additionally echoes spawn/exit events there.
 	Stderr  io.Writer
 	Verbose bool
+	// StatsSink, when non-nil, receives every stats frame the workers emit
+	// on their CCIFT_STATS_FD pipes, live as checkpoints complete. Called
+	// from per-worker reader goroutines; the sink must synchronize. The
+	// launcher aggregates the same frames itself into Result.Stats /
+	// Result.PerRank regardless.
+	StatsSink func(protocol.StatsFrame)
+	// OnRestart, when non-nil, is called after each rollback-restart
+	// decision with the cumulative restart count.
+	OnRestart func(restarts int)
 }
 
 // IncarnationReport describes how one incarnation ended.
@@ -119,11 +134,17 @@ type Result struct {
 	// Incarnations describes every spawned incarnation, including the
 	// final successful one.
 	Incarnations []IncarnationReport
+	// Stats holds each rank's protocol counters from the final
+	// incarnation, indexed by rank — the same shape the in-process engine
+	// reports, reconstructed from the workers' stats streams. PerRank is
+	// the tagged form.
+	Stats   []protocol.Stats
+	PerRank []protocol.RankStats
 }
 
 // ErrTooManyRestarts is returned when the failure schedule exhausts
-// MaxRestarts.
-var ErrTooManyRestarts = errors.New("launch: too many restarts")
+// MaxRestarts. It wraps cerr.ErrMaxRestarts, the public taxonomy category.
+var ErrTooManyRestarts = fmt.Errorf("launch: too many restarts: %w", cerr.ErrMaxRestarts)
 
 type workerExit struct {
 	rank   int
@@ -147,12 +168,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		ctx = context.Background()
 	}
 	if cfg.Ranks <= 0 {
-		return nil, fmt.Errorf("launch: Ranks must be positive, got %d", cfg.Ranks)
+		return nil, fmt.Errorf("launch: %w: Ranks must be positive, got %d", cerr.ErrSpec, cfg.Ranks)
 	}
 	if cfg.Exe == "" {
 		exe, err := os.Executable()
 		if err != nil {
-			return nil, fmt.Errorf("launch: resolve worker binary: %w", err)
+			return nil, fmt.Errorf("launch: resolve worker binary: %w: %w", cerr.ErrSpec, err)
 		}
 		cfg.Exe = exe
 	}
@@ -169,7 +190,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.WorkDir == "" {
 		dir, err := os.MkdirTemp("", "c3launch-*")
 		if err != nil {
-			return nil, fmt.Errorf("launch: scratch dir: %w", err)
+			return nil, fmt.Errorf("launch: scratch dir: %w: %w", cerr.ErrSpec, err)
 		}
 		cfg.WorkDir = dir
 		cleanupWork = true
@@ -178,7 +199,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		cfg.StoreDir = filepath.Join(cfg.WorkDir, "ckpt")
 	}
 	if err := os.MkdirAll(cfg.StoreDir, 0o755); err != nil {
-		return nil, fmt.Errorf("launch: store dir: %w", err)
+		return nil, fmt.Errorf("launch: store dir: %w: %w", cerr.ErrStore, err)
 	}
 	// A reused store directory may hold a previous job's commit record;
 	// restoring it into this job would resume foreign state. Checkpoints
@@ -186,10 +207,21 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// enough — this job's epochs overwrite the old blobs as they go.
 	disk, err := storage.NewDisk(cfg.StoreDir)
 	if err != nil {
-		return nil, fmt.Errorf("launch: open store: %w", err)
+		return nil, fmt.Errorf("launch: open store: %w: %w", cerr.ErrStore, err)
 	}
 	if err := storage.NewCheckpointStore(disk).ClearCommit(); err != nil {
-		return nil, fmt.Errorf("launch: clear stale commit record: %w", err)
+		return nil, fmt.Errorf("launch: clear stale commit record: %w: %w", cerr.ErrStore, err)
+	}
+
+	// The stats aggregator reconstructs per-rank counters from the frames
+	// every worker streams back on its stats pipe; frames also forward to
+	// the caller's sink, live.
+	agg := protocol.NewAggregator(nil)
+	observe := func(f protocol.StatsFrame) {
+		agg.Observe(f)
+		if cfg.StatsSink != nil {
+			cfg.StatsSink(f)
+		}
 	}
 
 	res := &Result{}
@@ -199,12 +231,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			if incarnation > 0 {
 				when = "during rollback"
 			}
-			return nil, fmt.Errorf("launch: run canceled %s: %w", when, cause)
+			return nil, fmt.Errorf("launch: run canceled %s: %w: %w", when, cerr.ErrCanceled, cause)
 		}
 		if incarnation > cfg.MaxRestarts {
 			return nil, fmt.Errorf("%w (%d)", ErrTooManyRestarts, cfg.MaxRestarts)
 		}
-		report, out, err := runIncarnation(ctx, cfg, incarnation)
+		report, out, err := runIncarnation(ctx, cfg, incarnation, observe)
 		if report != nil {
 			res.Incarnations = append(res.Incarnations, *report)
 		}
@@ -215,12 +247,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			report.RecoveredEpoch = epoch
 			res.Restarts++
 			res.RecoveredEpochs = append(res.RecoveredEpochs, epoch)
+			if cfg.OnRestart != nil {
+				cfg.OnRestart(res.Restarts)
+			}
 			continue
 		}
 		if err != nil {
 			return nil, err
 		}
 		res.Output = out
+		res.Stats = agg.FinalStats()
+		res.PerRank = agg.PerRank()
 		if cleanupWork {
 			os.RemoveAll(cfg.WorkDir)
 		}
@@ -245,10 +282,11 @@ func committedEpoch(storeDir string) int {
 // of them to exit. It returns an error only for non-recoverable outcomes
 // (spawn failure, a worker reporting a program error); a died incarnation
 // is a nil error with report.failed() true.
-func runIncarnation(ctx context.Context, cfg Config, incarnation int) (*IncarnationReport, string, error) {
+func runIncarnation(ctx context.Context, cfg Config, incarnation int,
+	observe func(protocol.StatsFrame)) (*IncarnationReport, string, error) {
 	rdv := filepath.Join(cfg.WorkDir, "rdv", strconv.Itoa(incarnation))
 	if err := os.MkdirAll(rdv, 0o755); err != nil {
-		return nil, "", fmt.Errorf("launch: rendezvous dir: %w", err)
+		return nil, "", fmt.Errorf("launch: rendezvous dir: %w: %w", cerr.ErrSpec, err)
 	}
 
 	kill := map[int]int64{}
@@ -270,6 +308,11 @@ func runIncarnation(ctx context.Context, cfg Config, incarnation int) (*Incarnat
 		fmt.Fprintf(cfg.Stderr, format, args...)
 		errMu.Unlock()
 	}
+	// readersWG tracks the per-worker stats-pipe readers: each drains its
+	// worker's frame stream until EOF (the kernel closes the write end when
+	// the worker exits, however it exits).
+	var readersWG sync.WaitGroup
+	defer readersWG.Wait()
 	for r := 0; r < cfg.Ranks; r++ {
 		cmd := exec.Command(cfg.Exe, cfg.Args...)
 		cmd.Env = append(os.Environ(),
@@ -288,14 +331,37 @@ func runIncarnation(ctx context.Context, cfg Config, incarnation int) (*Incarnat
 			cmd.Stdout = &rank0Out
 		}
 		cmd.Stderr = &prefixWriter{w: cfg.Stderr, mu: &errMu, prefix: fmt.Sprintf("[rank %d] ", r)}
+		// Stats stream: the worker writes frames to the pipe's write end,
+		// inherited as fd 3 (ExtraFiles numbering); the launcher's reader
+		// goroutine folds them into the aggregator as they arrive.
+		statsR, statsW, err := os.Pipe()
+		if err != nil {
+			for _, c := range cmds[:r] {
+				c.Process.Kill()
+			}
+			return nil, "", fmt.Errorf("launch: stats pipe for rank %d: %w: %w", r, cerr.ErrTransport, err)
+		}
+		cmd.ExtraFiles = []*os.File{statsW}
+		cmd.Env = append(cmd.Env, envStatsFD+"=3")
 		if err := cmd.Start(); err != nil {
+			statsR.Close()
+			statsW.Close()
 			// Each started rank already has a watcher goroutine in Wait;
 			// killing is enough, double-Waiting would race it.
 			for _, c := range cmds[:r] {
 				c.Process.Kill()
 			}
-			return nil, "", fmt.Errorf("launch: spawn rank %d: %w", r, err)
+			return nil, "", fmt.Errorf("launch: spawn rank %d: %w: %w", r, cerr.ErrTransport, err)
 		}
+		// The child owns its copy now; the launcher must drop its own write
+		// end or the reader would never see EOF.
+		statsW.Close()
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			defer statsR.Close()
+			protocol.ReadStatsFrames(statsR, observe)
+		}()
 		if cfg.Verbose {
 			logf("c3launch: incarnation %d: rank %d is pid %d%s\n",
 				incarnation, r, cmd.Process.Pid, doomedNote(kill, r))
@@ -354,7 +420,7 @@ func runIncarnation(ctx context.Context, cfg Config, incarnation int) (*Incarnat
 		Codes:          make([]int, cfg.Ranks),
 		RecoveredEpoch: -1,
 	}
-	hardErr := false
+	var hardCauses []error
 	for i := 0; i < cfg.Ranks; i++ {
 		e := <-exits
 		report.Exits[e.rank] = e.desc
@@ -362,7 +428,14 @@ func runIncarnation(ctx context.Context, cfg Config, incarnation int) (*Incarnat
 		if e.err != nil {
 			armReaper()
 			if !e.signal && e.code != exitRollback {
-				hardErr = true
+				// The exit code carries the worker's error category across
+				// the process boundary; unknown codes classify as program
+				// failures.
+				cat := cerr.FromExitCode(e.code)
+				if cat == nil {
+					cat = cerr.ErrProgram
+				}
+				hardCauses = append(hardCauses, cat)
 			}
 			if cfg.Verbose {
 				logf("c3launch: incarnation %d: rank %d exited: %s\n", incarnation, e.rank, e.desc)
@@ -374,10 +447,15 @@ func runIncarnation(ctx context.Context, cfg Config, incarnation int) (*Incarnat
 		reapTimer.Stop()
 	}
 	if cause := ctx.Err(); cause != nil {
-		return report, "", fmt.Errorf("launch: run canceled: %w", cause)
+		return report, "", fmt.Errorf("launch: run canceled: %w: %w", cerr.ErrCanceled, cause)
 	}
-	if hardErr {
-		return report, "", fmt.Errorf("launch: incarnation %d failed hard: %s", incarnation, strings.Join(report.Exits, ", "))
+	if len(hardCauses) > 0 {
+		// Several ranks may fail for different reasons; Category on the
+		// joined set picks the highest-priority sentinel so the run still
+		// reports exactly one category.
+		cat := cerr.Category(errors.Join(hardCauses...))
+		return report, "", fmt.Errorf("launch: incarnation %d failed hard: %w: %s",
+			incarnation, cat, strings.Join(report.Exits, ", "))
 	}
 	return report, rank0Out.String(), nil
 }
@@ -453,7 +531,8 @@ type WorkerApp struct {
 }
 
 // WorkerMain runs the worker role to completion and exits the process with
-// the launch protocol's exit code. It never returns.
+// the launch protocol's exit code — cerr.ExitCode of the worker's error, so
+// the launcher recovers the failure category. It never returns.
 func WorkerMain(app WorkerApp) {
 	code, err := workerRun(app)
 	if err != nil {
@@ -467,12 +546,12 @@ func workerRun(app WorkerApp) (int, error) {
 	ranks, err2 := envInt(envRanks)
 	incarnation, err3 := envInt(envIncarnation)
 	if err := errors.Join(err1, err2, err3); err != nil {
-		return exitError, err
+		return cerr.CodeSpec, fmt.Errorf("%w: %w", cerr.ErrSpec, err)
 	}
 	rdv := os.Getenv(envRendezvous)
 	storeDir := os.Getenv(envStore)
 	if rdv == "" || storeDir == "" {
-		return exitError, fmt.Errorf("missing %s or %s", envRendezvous, envStore)
+		return cerr.CodeSpec, fmt.Errorf("%w: missing %s or %s", cerr.ErrSpec, envRendezvous, envStore)
 	}
 	// A malformed fault-injection or detector variable must be a hard error:
 	// silently ignoring it would turn a scheduled-kill run into a fault-free
@@ -481,7 +560,7 @@ func workerRun(app WorkerApp) (int, error) {
 	if v := os.Getenv(envDetector); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			return exitError, fmt.Errorf("bad env %s=%q: want a positive integer", envDetector, v)
+			return cerr.CodeSpec, fmt.Errorf("%w: bad env %s=%q: want a positive integer", cerr.ErrSpec, envDetector, v)
 		}
 		detectorMS = n
 	}
@@ -489,14 +568,29 @@ func workerRun(app WorkerApp) (int, error) {
 	if v := os.Getenv(envKillAtOp); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil || n <= 0 { // the engine treats <=0 as "no kill"
-			return exitError, fmt.Errorf("bad env %s=%q: want a positive integer", envKillAtOp, v)
+			return cerr.CodeSpec, fmt.Errorf("%w: bad env %s=%q: want a positive integer", cerr.ErrSpec, envKillAtOp, v)
 		}
 		killAtOp = n
 	}
 
+	// The stats stream: frames go to the launcher on the inherited pipe.
+	// Writes happen from the rank's own goroutine only, and losing the
+	// stream (launcher gone) must not fail the computation, so errors are
+	// ignored.
+	var statsSink func(protocol.StatsFrame)
+	if v := os.Getenv(envStatsFD); v != "" {
+		fd, err := strconv.Atoi(v)
+		if err != nil || fd < 3 {
+			return cerr.CodeSpec, fmt.Errorf("%w: bad env %s=%q: want a file descriptor ≥ 3", cerr.ErrSpec, envStatsFD, v)
+		}
+		statsPipe := os.NewFile(uintptr(fd), "ccift-stats")
+		defer statsPipe.Close()
+		statsSink = func(f protocol.StatsFrame) { _ = protocol.WriteStatsFrame(statsPipe, f) }
+	}
+
 	disk, err := storage.NewDisk(storeDir)
 	if err != nil {
-		return exitError, err
+		return cerr.CodeStore, fmt.Errorf("%w: %w", cerr.ErrStore, err)
 	}
 	var store storage.Stable = disk
 	if app.WrapStore != nil {
@@ -512,7 +606,7 @@ func workerRun(app WorkerApp) (int, error) {
 		},
 	})
 	if err != nil {
-		return exitError, err
+		return cerr.CodeTransport, fmt.Errorf("%w: %w", cerr.ErrTransport, err)
 	}
 	defer tr.Close()
 
@@ -540,6 +634,7 @@ func workerRun(app WorkerApp) (int, error) {
 		Start:        tr.Start,
 		AnnounceDone: tr.AnnounceDone,
 		AllDone:      tr.AllDone,
+		StatsSink:    statsSink,
 	}, app.Prog)
 	switch {
 	case errors.Is(err, engine.ErrIncarnationDead):
@@ -549,7 +644,7 @@ func workerRun(app WorkerApp) (int, error) {
 		}
 		return exitRollback, nil
 	case err != nil:
-		return exitError, err
+		return cerr.ExitCode(err), err
 	}
 	if rank == 0 {
 		if res.RecoveredEpoch >= 0 {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 
@@ -255,6 +256,71 @@ func TestDistributedKillMidFlush(t *testing.T) {
 				t.Fatalf("recovered output %q != fault-free output %q", res.Output, baseline.Output)
 			}
 		})
+	}
+}
+
+// TestDistributedStatsCrossProcess pins the stats-aggregation regression:
+// per-rank protocol counters must cross the process boundary, so a
+// distributed Result carries a populated snapshot for every rank — the
+// exact gap that left fig8 -distributed printing empty stats tables.
+func TestDistributedStatsCrossProcess(t *testing.T) {
+	var mu sync.Mutex
+	var frames []protocol.StatsFrame
+	res, err := launch.Run(launch.Config{
+		Ranks:  testRanks,
+		Stderr: io.Discard,
+		StatsSink: func(f protocol.StatsFrame) {
+			mu.Lock()
+			frames = append(frames, f)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("launch.Run: %v", err)
+	}
+	if len(res.Stats) != testRanks || len(res.PerRank) != testRanks {
+		t.Fatalf("Stats has %d entries, PerRank %d, want %d each",
+			len(res.Stats), len(res.PerRank), testRanks)
+	}
+	for r, s := range res.Stats {
+		if s.MessagesSent <= 0 {
+			t.Errorf("rank %d: MessagesSent = %d, want > 0 (stats did not cross the process boundary)",
+				r, s.MessagesSent)
+		}
+		if s.CheckpointsTaken <= 0 {
+			t.Errorf("rank %d: CheckpointsTaken = %d, want > 0", r, s.CheckpointsTaken)
+		}
+		if pr := res.PerRank[r]; pr.Rank != r || pr.Incarnation != 0 || pr.Stats != s {
+			t.Errorf("PerRank[%d] = {rank %d inc %d}, disagrees with Stats[%d]", r, pr.Rank, pr.Incarnation, r)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(frames) < testRanks {
+		t.Fatalf("StatsSink saw %d frames, want at least one per rank", len(frames))
+	}
+}
+
+// TestDistributedStatsSurviveRestart: after a SIGKILL and rollback, the
+// final Result reports the FINAL incarnation's counters for every rank.
+func TestDistributedStatsSurviveRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns two incarnations of real processes")
+	}
+	res := runLaplace(t, []launch.KillSpec{{Rank: 2, AtOp: 100, Incarnation: 0}})
+	if res.Restarts != 1 {
+		t.Fatalf("%d restarts, want 1", res.Restarts)
+	}
+	if len(res.PerRank) != testRanks {
+		t.Fatalf("PerRank has %d entries, want %d", len(res.PerRank), testRanks)
+	}
+	for r, pr := range res.PerRank {
+		if pr.Incarnation != 1 {
+			t.Errorf("rank %d: final stats from incarnation %d, want 1 (the recovered run)", r, pr.Incarnation)
+		}
+		if pr.Stats.MessagesSent <= 0 {
+			t.Errorf("rank %d: MessagesSent = %d, want > 0", r, pr.Stats.MessagesSent)
+		}
 	}
 }
 

@@ -1,0 +1,181 @@
+// Package metrics is a dependency-free metrics registry with Prometheus
+// text exposition. It exists so ccift can expose live protocol counters
+// (checkpoint blocked time, restarts, dedup ratios, ...) on an HTTP
+// endpoint without pulling a client library into the module: the registry
+// knows counters (monotonic int64) and gauges (float64), renders them in
+// the text format scrapers understand, and nothing more.
+//
+// All methods are safe for concurrent use. Metric instruments are created
+// once (usually up front, so a scrape early in a run still sees every
+// series at zero) and updated with atomics on the hot path.
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. Set exists for mirrors of
+// externally accumulated totals (e.g. folding a worker's stats snapshot
+// into the launcher's registry) and must only ever move the value up.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Set replaces the counter's value; callers guarantee monotonicity.
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+type metric struct {
+	name    string
+	help    string
+	typ     string // "counter" | "gauge"
+	counter *Counter
+	gauge   *Gauge
+}
+
+// Registry holds named metrics and renders them. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	names   []string // insertion order not kept; render sorts
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter registers (or returns the existing) counter with the given name.
+// Registering the same name with a different type panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.typ != "counter" {
+			panic("metrics: " + name + " already registered as " + m.typ)
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, typ: "counter", counter: c}
+	r.names = append(r.names, name)
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.typ != "gauge" {
+			panic("metrics: " + name + " already registered as " + m.typ)
+		}
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{name: name, help: help, typ: "gauge", gauge: g}
+	r.names = append(r.names, name)
+	return g
+}
+
+// Render writes the registry in Prometheus text exposition format
+// (version 0.0.4), metrics sorted by name.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	ms := make([]*metric, 0, len(names))
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	var b strings.Builder
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		switch m.typ {
+		case "counter":
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case "gauge":
+			v := m.gauge.Value()
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				fmt.Fprintf(&b, "%s %d\n", m.name, int64(v))
+			} else {
+				fmt.Fprintf(&b, "%s %g\n", m.name, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the rendered registry; mount it
+// at /metrics (Serve does).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Render())
+	})
+}
+
+// Server is a running metrics endpoint; Close stops it.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve exposes the registry at http://<addr>/metrics (and at "/", for
+// curl convenience). addr may end in ":0" to pick a free port; Addr
+// reports the bound address.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down, allowing in-flight scrapes a moment to
+// finish.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

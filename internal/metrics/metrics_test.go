@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ccift_restarts_total", "Rollback restarts across the run.")
+	g := r.Gauge("ccift_ranks", "World size.")
+	c.Add(3)
+	g.Set(4)
+
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP ccift_restarts_total Rollback restarts across the run.",
+		"# TYPE ccift_restarts_total counter",
+		"ccift_restarts_total 3",
+		"# TYPE ccift_ranks gauge",
+		"ccift_ranks 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "ccift_ranks") > strings.Index(out, "ccift_restarts_total") {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestCounterReuseAndTypeClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestServeScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ccift_checkpoint_blocked_ns_total", "ns blocked").Add(42)
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "ccift_checkpoint_blocked_ns_total 42") {
+		t.Errorf("scrape missing counter:\n%s", body)
+	}
+}

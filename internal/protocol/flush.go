@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"ccift/internal/cerr"
 	"ccift/internal/mpi"
 )
 
@@ -84,7 +85,9 @@ func (l *Layer) finishFlush(r flushResult) {
 		if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
 			panic(mpi.ErrCanceled)
 		}
-		panic(fmt.Sprintf("protocol: persist state (epoch %d, rank %d): %v", r.epoch, l.rank, r.err))
+		// Panic with an error value so the engine's classifier keeps the
+		// store category instead of reading a flattened string.
+		panic(fmt.Errorf("protocol: persist state (epoch %d, rank %d): %w: %w", r.epoch, l.rank, cerr.ErrStore, r.err))
 	}
 	l.integrateFlush(r)
 	l.maybeReportStopped()
@@ -98,6 +101,7 @@ func (l *Layer) integrateFlush(r flushResult) {
 	l.Stats.CheckpointBytesWritten += r.written
 	l.Stats.CheckpointFlushNs += r.dur.Nanoseconds()
 	l.trace(TraceCheckpoint, -1, 0, 0, int(r.total))
+	l.emitStats()
 }
 
 // maybeReportStopped sends stoppedLogging once per checkpoint, and only
@@ -134,7 +138,7 @@ func (l *Layer) Shutdown() error {
 		if errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
 			return nil // the run is unwinding for cancellation already
 		}
-		return fmt.Errorf("protocol: persist state (epoch %d, rank %d): %w", r.epoch, l.rank, r.err)
+		return fmt.Errorf("protocol: persist state (epoch %d, rank %d): %w: %w", r.epoch, l.rank, cerr.ErrStore, r.err)
 	}
 	l.integrateFlush(r)
 	return nil

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ccift/internal/cerr"
 	"ccift/internal/ckpt"
 	"ccift/internal/mpi"
 	"ccift/internal/storage"
@@ -100,43 +101,52 @@ type Config struct {
 	// state is byte-identical to a full freeze, so storage and recovery
 	// are unaffected. Off by default.
 	IncrementalFreeze bool
+	// StatsSink, when non-nil, receives cumulative snapshots of this
+	// layer's Stats at observable progress points (each completed
+	// checkpoint, each integrated flush, and Finish). Snapshots are
+	// monotone within one layer and always called from the rank's own
+	// goroutine; the substrate uses them to stream live counters to a
+	// launcher or metrics endpoint.
+	StatsSink func(Stats)
 }
 
-// Stats counts protocol activity for the evaluation harness.
+// Stats counts protocol activity for the evaluation harness. The json
+// tags are the stable wire names of the cross-process stats stream (see
+// stats.go); add fields freely, but never rename or reuse a tag.
 type Stats struct {
-	MessagesSent       int64
-	BytesSent          int64
-	PiggybackBytes     int64
-	ControlMessages    int64
-	ControlCollectives int64
-	LateLogged         int64
-	EarlyRecorded      int64
-	EventsLogged       int64
-	LogBytes           int64
-	CheckpointsTaken   int64
-	CheckpointBytes    int64
+	MessagesSent       int64 `json:"messages_sent"`
+	BytesSent          int64 `json:"bytes_sent"`
+	PiggybackBytes     int64 `json:"piggyback_bytes"`
+	ControlMessages    int64 `json:"control_messages"`
+	ControlCollectives int64 `json:"control_collectives"`
+	LateLogged         int64 `json:"late_logged"`
+	EarlyRecorded      int64 `json:"early_recorded"`
+	EventsLogged       int64 `json:"events_logged"`
+	LogBytes           int64 `json:"log_bytes"`
+	CheckpointsTaken   int64 `json:"checkpoints_taken"`
+	CheckpointBytes    int64 `json:"checkpoint_bytes"`
 	// CheckpointBytesWritten counts bytes actually stored after chunk
 	// dedup; the gap to CheckpointBytes is the incremental-checkpoint win.
-	CheckpointBytesWritten int64
+	CheckpointBytesWritten int64 `json:"checkpoint_bytes_written"`
 	// CheckpointBlockedNs is time the rank spent stopped inside
 	// takeCheckpoint (freeze + inline write when synchronous);
 	// CheckpointFlushNs is time spent writing state to stable storage
 	// (overlapped with computation when asynchronous). Their ratio is the
 	// async pipeline's headline number.
-	CheckpointBlockedNs int64
-	CheckpointFlushNs   int64
+	CheckpointBlockedNs int64 `json:"checkpoint_blocked_ns"`
+	CheckpointFlushNs   int64 `json:"checkpoint_flush_ns"`
 	// CheckpointBytesCopied counts bytes memcopied into frozen views at
 	// capture time; with incremental freeze, clean regions re-reference
 	// the previous epoch's slabs and cost nothing, so the gap to
 	// CheckpointBytes is the dirty-tracking win. CheckpointRegionsDirty /
 	// CheckpointRegions count captured vs total regions (VDS variables +
 	// heap blocks) across all checkpoints.
-	CheckpointBytesCopied  int64
-	CheckpointRegionsDirty int64
-	CheckpointRegions      int64
-	SuppressedSends        int64
-	ReplayedLate           int64
-	ReplayedResults        int64
+	CheckpointBytesCopied  int64 `json:"checkpoint_bytes_copied"`
+	CheckpointRegionsDirty int64 `json:"checkpoint_regions_dirty"`
+	CheckpointRegions      int64 `json:"checkpoint_regions"`
+	SuppressedSends        int64 `json:"suppressed_sends"`
+	ReplayedLate           int64 `json:"replayed_late"`
+	ReplayedResults        int64 `json:"replayed_results"`
 }
 
 // AppMessage is a delivered application message (piggyback stripped).
@@ -377,7 +387,9 @@ func (l *Layer) handleControl(specIdx int, m *mpi.Message) {
 				// Phase 4 completion: record the new global checkpoint as
 				// the one to use for recovery.
 				if err := l.cfg.Store.Commit(l.init.target); err != nil {
-					panic(fmt.Sprintf("protocol: commit checkpoint %d: %v", l.init.target, err))
+					// An error value, not a string: the engine's classifier
+					// keeps the store category.
+					panic(fmt.Errorf("protocol: commit checkpoint %d: %w: %w", l.init.target, cerr.ErrStore, err))
 				}
 				l.trace(TraceCommit, -1, 0, 0, l.init.target)
 				l.init.inProgress = false
@@ -480,7 +492,7 @@ func (l *Layer) receivedAll() {
 func (l *Layer) finalizeLog() {
 	blob := l.log.Marshal()
 	if err := l.cfg.Store.PutLog(l.epoch, l.rank, blob); err != nil {
-		panic(fmt.Sprintf("protocol: persist log: %v", err))
+		panic(fmt.Errorf("protocol: persist log (epoch %d, rank %d): %w: %w", l.epoch, l.rank, cerr.ErrStore, err))
 	}
 	l.Stats.LogBytes += int64(len(blob))
 	l.amLogging = false
@@ -542,6 +554,7 @@ func (l *Layer) takeCheckpoint() {
 	}
 	l.Stats.CheckpointsTaken++
 	l.Stats.CheckpointBlockedNs += time.Since(start).Nanoseconds()
+	l.emitStats()
 
 	// Tell every receiver how many messages we sent it in the epoch that
 	// just ended.
@@ -571,7 +584,18 @@ func (l *Layer) takeCheckpoint() {
 
 // Finish marks the application as complete on this rank; afterwards the
 // layer only services control traffic via ServiceControl.
-func (l *Layer) Finish() { l.finished = true }
+func (l *Layer) Finish() {
+	l.finished = true
+	l.emitStats()
+}
+
+// emitStats hands the sink a snapshot of the layer's counters; a no-op
+// without a configured sink.
+func (l *Layer) emitStats() {
+	if l.cfg.StatsSink != nil {
+		l.cfg.StatsSink(l.Stats)
+	}
+}
 
 // ServiceControl processes pending control traffic once; callers that
 // poll on their own schedule (tests, external drivers) use this, while

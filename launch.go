@@ -14,13 +14,17 @@ import (
 // RunError is the structured failure report Launch (and Run) return: which
 // rank ended the run (-1 when not attributable to one rank), in which
 // incarnation, and how many rollback-restarts were consumed. The
-// underlying cause — a program error, context.Canceled,
-// context.DeadlineExceeded, ErrTooManyRestarts — is reachable with
-// errors.Is/As through Unwrap.
+// underlying cause is reachable with errors.Is/As through Unwrap and
+// always matches exactly one taxonomy sentinel (ErrCanceled, ErrSpec,
+// ErrStore, ErrTransport, ErrWorldDead, ErrMaxRestarts, ErrProgram);
+// context.Canceled / context.DeadlineExceeded and the program's own error
+// remain in the chain alongside their category.
 type RunError = engine.RunError
 
-// ErrTooManyRestarts is the cause wrapped by a RunError when the failure
-// schedule exhausts the restart budget.
+// ErrTooManyRestarts is the historical cause wrapped by a RunError when
+// the failure schedule exhausts the restart budget. It wraps
+// ErrMaxRestarts, the taxonomy category for the same condition; new code
+// should test for ErrMaxRestarts.
 var ErrTooManyRestarts = engine.ErrTooManyRestarts
 
 // Tracer receives protocol events from every rank (see internal/trace for
@@ -62,12 +66,17 @@ type Transport = mpi.Transport
 // restarting from the last committed global checkpoint as ranks die.
 //
 // Result shape: on the in-process substrate, Result.Values holds every
-// rank's program return value and Result.Stats every rank's protocol
-// counters. On the distributed substrate only rank 0's result crosses the
-// process boundary, as a string (fmt's rendering of the return value), so
-// Values is that single string and Stats is empty — return a
+// rank's program return value. On the distributed substrate only rank 0's
+// result crosses the process boundary, as a string (fmt's rendering of the
+// return value), so Values is that single string — return a
 // fmt.Sprint-stable value (e.g. a formatted string) from programs that run
-// on both substrates.
+// on both substrates. Result.Stats and Result.PerRank carry every rank's
+// protocol counters on BOTH substrates: distributed workers stream their
+// counters back to the launcher, which reconstructs the same per-rank view
+// the in-process engine reads directly.
+//
+// Observability: WithMetricsAddr additionally serves the run's live
+// counters in Prometheus text format for the duration of the Launch.
 func Launch(ctx context.Context, spec *Spec, prog Program) (*Result, error) {
 	if spec == nil {
 		spec = NewSpec()
@@ -81,7 +90,18 @@ func Launch(ctx context.Context, spec *Spec, prog Program) (*Result, error) {
 	if spec.distributed != nil {
 		return launchDistributed(ctx, spec, prog)
 	}
-	return engine.RunContext(ctx, spec.cfg, prog)
+	cfg := spec.cfg
+	if spec.metricsAddr != "" {
+		mr, err := newMetricsRun(spec.metricsAddr, cfg.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		defer mr.close()
+		agg := protocol.NewAggregator(mr.observe)
+		cfg.StatsSink = agg.Observe
+		cfg.OnRestart = mr.onRestart
+	}
+	return engine.RunContext(ctx, cfg, prog)
 }
 
 // IsWorker reports whether the current process was spawned as the worker
@@ -115,7 +135,7 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 	if args == nil {
 		args = os.Args[1:]
 	}
-	lres, err := launch.RunContext(ctx, launch.Config{
+	lcfg := launch.Config{
 		Exe:             d.Exe,
 		Args:            args,
 		Ranks:           cfg.Ranks,
@@ -126,7 +146,21 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 		DetectorTimeout: d.DetectorTimeout,
 		Stderr:          d.Stderr,
 		Verbose:         d.Verbose,
-	})
+	}
+	if spec.metricsAddr != "" {
+		// The launcher serves the aggregated view; this branch is only
+		// reached in the launcher role (workers took WorkerMain above), so
+		// re-exec'd workers never contend for the address.
+		mr, err := newMetricsRun(spec.metricsAddr, cfg.Ranks)
+		if err != nil {
+			return nil, &RunError{Rank: -1, Incarnation: -1, Err: err}
+		}
+		defer mr.close()
+		agg := protocol.NewAggregator(mr.observe)
+		lcfg.StatsSink = agg.Observe
+		lcfg.OnRestart = mr.onRestart
+	}
+	lres, err := launch.RunContext(ctx, lcfg)
 	if err != nil {
 		// The launcher does not attribute failures to a rank or incarnation;
 		// -1 marks both unknown.
@@ -134,8 +168,14 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 	}
 	// Only rank 0's rendered result crosses the process boundary: Values
 	// holds that one string (fmt's rendering of the program's return value,
-	// which the worker prints as "result: <value>").
-	res := &Result{Restarts: lres.Restarts, RecoveredEpochs: lres.RecoveredEpochs}
+	// which the worker prints as "result: <value>"). The per-rank protocol
+	// counters DO cross it, via the workers' stats streams.
+	res := &Result{
+		Restarts:        lres.Restarts,
+		RecoveredEpochs: lres.RecoveredEpochs,
+		Stats:           lres.Stats,
+		PerRank:         lres.PerRank,
+	}
 	for _, line := range strings.Split(lres.Output, "\n") {
 		if v, ok := strings.CutPrefix(line, "result: "); ok {
 			res.Values = append(res.Values, v)

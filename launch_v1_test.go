@@ -81,9 +81,29 @@ func hangProg() ccift.Program {
 	}
 }
 
+// failProg iterates a few times (so checkpoints and messages flow), then
+// rank 2 returns an application error — the taxonomy tests' ErrProgram
+// case on both substrates.
+func failProg() ccift.Program {
+	return func(r *ccift.Rank) (any, error) {
+		it := ccift.Reg[int](r, "it")
+		for ; *it < 5; *it++ {
+			r.PotentialCheckpoint()
+			r.Barrier()
+		}
+		if r.Rank() == 2 {
+			return nil, fmt.Errorf("deliberate application failure on rank 2")
+		}
+		return "ok", nil
+	}
+}
+
 func testProg() ccift.Program {
-	if os.Getenv(progEnv) == "hang" {
+	switch os.Getenv(progEnv) {
+	case "hang":
 		return hangProg()
+	case "fail":
+		return failProg()
 	}
 	return conformanceProg()
 }

@@ -1,0 +1,95 @@
+package ccift
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"ccift/internal/cerr"
+	"ccift/internal/metrics"
+	"ccift/internal/protocol"
+)
+
+// The metrics endpoint. WithMetricsAddr starts a plain-HTTP listener for
+// the duration of a Launch; GET /metrics returns Prometheus text
+// exposition. Every protocol counter is exported as
+// ccift_<wire name>_total (e.g. ccift_checkpoint_blocked_ns_total),
+// summed across ranks and accumulated across incarnations — counters stay
+// monotone through rollbacks, as a scraper requires — plus
+// ccift_restarts_total, ccift_ranks, and ccift_incarnation. All series
+// are registered up front, so a scrape early in the run sees the full set
+// at zero.
+
+// metricsRun is one Launch's live registry + endpoint.
+type metricsRun struct {
+	reg         *metrics.Registry
+	srv         *metrics.Server
+	counters    map[string]*metrics.Counter // Stats field name -> counter
+	restarts    *metrics.Counter
+	incarnation *metrics.Gauge
+	dedup       *metrics.Gauge
+}
+
+// newMetricsRun builds the registry (every series declared immediately)
+// and starts serving it on addr.
+func newMetricsRun(addr string, ranks int) (*metricsRun, error) {
+	m := &metricsRun{
+		reg:      metrics.NewRegistry(),
+		counters: map[string]*metrics.Counter{},
+	}
+	// One counter per protocol counter, named from the stable wire tag so
+	// the metric set and the stats stream can never drift.
+	t := reflect.TypeOf(protocol.Stats{})
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag == "" || f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		m.counters[f.Name] = m.reg.Counter("ccift_"+tag+"_total",
+			"Protocol counter "+f.Name+", summed over ranks, cumulative across incarnations.")
+	}
+	m.restarts = m.reg.Counter("ccift_restarts_total", "Rollback-restarts performed by this run.")
+	m.incarnation = m.reg.Gauge("ccift_incarnation", "Newest incarnation observed (0 = initial execution).")
+	m.dedup = m.reg.Gauge("ccift_checkpoint_dedup_ratio",
+		"Fraction of serialized checkpoint bytes NOT written thanks to chunk dedup (0 = everything written).")
+	m.reg.Gauge("ccift_ranks", "World size of the run.").Set(float64(ranks))
+
+	srv, err := m.reg.Serve(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: WithMetricsAddr: %w", cerr.ErrSpec, err)
+	}
+	m.srv = srv
+	return m, nil
+}
+
+// observe is the aggregator hook: refresh every exported series from the
+// cumulative total. Totals are monotone (the aggregator folds superseded
+// incarnations into its base), so Set preserves counter semantics.
+func (m *metricsRun) observe(total protocol.Stats, f protocol.StatsFrame) {
+	v := reflect.ValueOf(total)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if c := m.counters[t.Field(i).Name]; c != nil {
+			c.Set(v.Field(i).Int())
+		}
+	}
+	if inc := float64(f.Incarnation); inc > m.incarnation.Value() {
+		m.incarnation.Set(inc)
+	}
+	if total.CheckpointBytes > 0 {
+		m.dedup.Set(1 - float64(total.CheckpointBytesWritten)/float64(total.CheckpointBytes))
+	}
+}
+
+func (m *metricsRun) onRestart(restarts int) { m.restarts.Set(int64(restarts)) }
+
+func (m *metricsRun) close() {
+	if m.srv != nil {
+		m.srv.Close()
+	}
+}
+
+// Addr returns the endpoint's bound address (host:port), useful when the
+// spec asked for ":0".
+func (m *metricsRun) addr() string { return m.srv.Addr() }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"ccift/internal/cerr"
 	"ccift/internal/engine"
 	"ccift/internal/protocol"
 )
@@ -17,6 +18,7 @@ import (
 type Spec struct {
 	cfg         engine.Config
 	distributed *Distributed
+	metricsAddr string
 }
 
 // Option mutates a Spec under construction.
@@ -153,32 +155,43 @@ func WithDistributed(d Distributed) Option {
 	return func(s *Spec) { s.distributed = &d }
 }
 
-// Validate reports the first configuration error in the spec. Launch calls
-// it, so explicit use is only needed to check a spec without running it.
+// WithMetricsAddr exposes the run's live counters at
+// http://<addr>/metrics in Prometheus text exposition format for the
+// duration of the Launch, on either substrate (on the distributed
+// substrate the launcher process serves the aggregated view; workers
+// stream their counters to it). Use ":0" to bind a free port. See the
+// README's "Operating ccift" section for the exported series.
+func WithMetricsAddr(addr string) Option {
+	return func(s *Spec) { s.metricsAddr = addr }
+}
+
+// Validate reports the first configuration error in the spec; every error
+// it returns matches ErrSpec via errors.Is. Launch calls it, so explicit
+// use is only needed to check a spec without running it.
 func (s *Spec) Validate() error {
 	if err := s.cfg.Validate(); err != nil {
 		return err
 	}
 	if d := s.distributed; d != nil {
 		if s.cfg.Store != nil {
-			return fmt.Errorf("ccift: WithStore supplies an in-process store, which no worker process can reach; " +
-				"distributed runs share checkpoints through Distributed.StoreDir")
+			return fmt.Errorf("%w: WithStore supplies an in-process store, which no worker process can reach; "+
+				"distributed runs share checkpoints through Distributed.StoreDir", cerr.ErrSpec)
 		}
 		if s.cfg.Mode != protocol.Full {
-			return fmt.Errorf("ccift: distributed runs recover from shared checkpoints and require Full mode, got %v "+
-				"(the in-process substrate runs any mode)", s.cfg.Mode)
+			return fmt.Errorf("%w: distributed runs recover from shared checkpoints and require Full mode, got %v "+
+				"(the in-process substrate runs any mode)", cerr.ErrSpec, s.cfg.Mode)
 		}
 		if s.cfg.Tracer != nil {
-			return fmt.Errorf("ccift: WithTracer is in-process only: the recorder cannot observe worker processes")
+			return fmt.Errorf("%w: WithTracer is in-process only: the recorder cannot observe worker processes", cerr.ErrSpec)
 		}
 		if s.cfg.NewTransport != nil {
-			return fmt.Errorf("ccift: WithTransport and WithDistributed are mutually exclusive: the distributed substrate brings its own TCP transport")
+			return fmt.Errorf("%w: WithTransport and WithDistributed are mutually exclusive: the distributed substrate brings its own TCP transport", cerr.ErrSpec)
 		}
 		if s.cfg.ChaosSeed != 0 {
-			return fmt.Errorf("ccift: WithChaos is in-process only: a real network's interleaving cannot be seeded")
+			return fmt.Errorf("%w: WithChaos is in-process only: a real network's interleaving cannot be seeded", cerr.ErrSpec)
 		}
 		if s.cfg.DetectorTimeout != 0 {
-			return fmt.Errorf("ccift: WithDetectorTimeout is in-process only; set Distributed.DetectorTimeout for worker heartbeats")
+			return fmt.Errorf("%w: WithDetectorTimeout is in-process only; set Distributed.DetectorTimeout for worker heartbeats", cerr.ErrSpec)
 		}
 	}
 	return nil

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ccift/internal/cerr"
+	"ccift/internal/storage"
+)
+
+// seedStore writes a two-epoch checkpoint tree the way the runtime does:
+// chunked state per rank (epoch 1 re-uses epoch 0's chunks except one
+// dirty chunk per rank), logs, a commit record for epoch 1, and one
+// orphaned chunk. Returns the store dir.
+func seedStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	disk, err := storage.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := storage.NewCheckpointStore(disk)
+	const ranks, chunk = 2, 1 << 10
+	for epoch := 0; epoch <= 1; epoch++ {
+		for rank := 0; rank < ranks; rank++ {
+			w := cs.StateWriter(context.Background(), epoch, rank, chunk)
+			// Three chunks: a shared prefix identical across epochs and
+			// ranks, a per-rank stable chunk, and a per-epoch dirty chunk.
+			if _, err := w.Write(bytes.Repeat([]byte{0xAA}, chunk)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write(bytes.Repeat([]byte{byte(rank)}, chunk)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write(bytes.Repeat([]byte{0xF0 | byte(epoch)}, chunk)); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := w.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := cs.PutLog(epoch, rank, []byte("log")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cs.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	orphan := []byte("orphaned chunk content")
+	sum := sha256.Sum256(orphan)
+	if err := disk.Put(storage.ChunkRef{Sum: sum, Len: int64(len(orphan))}.Key(), orphan); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOpenRejectsMissingDir(t *testing.T) {
+	_, err := Open(filepath.Join(t.TempDir(), "no-such-store"))
+	if !errors.Is(err, cerr.ErrStore) {
+		t.Fatalf("Open on a missing dir: err=%v, want ErrStore", err)
+	}
+	// Open must not have scaffolded the directory.
+	if _, err2 := Open(filepath.Join(t.TempDir(), "no-such-store")); err2 == nil {
+		t.Fatal("second Open succeeded: Open created the directory")
+	}
+}
+
+func TestEpochsAndManifest(t *testing.T) {
+	st, err := Open(seedStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := st.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 {
+		t.Fatalf("epochs=%d, want 2", len(epochs))
+	}
+	for i, e := range epochs {
+		if e.Epoch != i {
+			t.Errorf("epochs[%d].Epoch=%d", i, e.Epoch)
+		}
+		if e.Committed != (i == 1) {
+			t.Errorf("epoch %d committed=%v", e.Epoch, e.Committed)
+		}
+		if len(e.Ranks) != 2 {
+			t.Fatalf("epoch %d ranks=%d, want 2", e.Epoch, len(e.Ranks))
+		}
+		if e.StateBytes != 2*3*1024 {
+			t.Errorf("epoch %d StateBytes=%d, want %d", e.Epoch, e.StateBytes, 2*3*1024)
+		}
+		for _, r := range e.Ranks {
+			if !r.Chunked || r.Chunks != 3 {
+				t.Errorf("epoch %d rank %d: chunked=%v chunks=%d, want chunked with 3", e.Epoch, r.Rank, r.Chunked, r.Chunks)
+			}
+			if r.LogBytes != 3 {
+				t.Errorf("epoch %d rank %d LogBytes=%d", e.Epoch, r.Rank, r.LogBytes)
+			}
+		}
+	}
+
+	m, err := st.Manifest(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Chunked || len(m.Refs) != 3 || m.LogicalBytes != 3*1024 {
+		t.Fatalf("manifest: chunked=%v refs=%d logical=%d", m.Chunked, len(m.Refs), m.LogicalBytes)
+	}
+	if _, err := st.Manifest(7, 0); !errors.Is(err, cerr.ErrStore) {
+		t.Errorf("missing manifest: err=%v, want ErrStore", err)
+	}
+	if _, err := st.Manifest(-1, 0); !errors.Is(err, cerr.ErrSpec) {
+		t.Errorf("negative epoch: err=%v, want ErrSpec", err)
+	}
+}
+
+func TestChunksOrphansSummary(t *testing.T) {
+	st, err := Open(seedStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := st.Chunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unique chunks: shared 0xAA (4 refs), rank-0 and rank-1 stable (2
+	// refs each), epoch-0 and epoch-1 dirty (2 refs each), plus the
+	// seeded orphan.
+	if len(chunks) != 6 {
+		t.Fatalf("chunks=%d, want 6", len(chunks))
+	}
+	if chunks[0].Refs != 4 {
+		t.Errorf("most-shared chunk refs=%d, want 4", chunks[0].Refs)
+	}
+	orphans, err := st.Orphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 1 || orphans[0].Refs != 0 {
+		t.Fatalf("orphans=%+v, want exactly the seeded one", orphans)
+	}
+
+	s, err := st.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasCommit || s.CommittedEpoch != 1 || s.Epochs != 2 {
+		t.Fatalf("summary commit/epochs: %+v", s)
+	}
+	if s.LogicalBytes != 4*3*1024 {
+		t.Errorf("LogicalBytes=%d, want %d", s.LogicalBytes, 4*3*1024)
+	}
+	// 12 logical chunks dedup to 5 stored (+ orphan bytes): ratio > 0.
+	if s.DedupRatio <= 0 {
+		t.Errorf("DedupRatio=%v, want > 0", s.DedupRatio)
+	}
+	if s.Orphans != 1 || s.OrphanBytes == 0 {
+		t.Errorf("summary orphans: %+v", s)
+	}
+}
+
+func TestPrunePlanAndPrune(t *testing.T) {
+	dir := seedStore(t)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := st.PrunePlan(-1) // default: the committed epoch (1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.KeepEpoch != 1 {
+		t.Fatalf("KeepEpoch=%d, want 1", plan.KeepEpoch)
+	}
+	if len(plan.Epochs) != 1 || plan.Epochs[0] != 0 {
+		t.Fatalf("plan.Epochs=%v, want [0]", plan.Epochs)
+	}
+	// Epoch 0's 4 blobs (2 states + 2 logs), the epoch-0-only dirty
+	// chunk, and the orphan.
+	if len(plan.Keys) != 6 {
+		t.Fatalf("plan.Keys=%v, want 6 keys", plan.Keys)
+	}
+	if plan.ReclaimBytes == 0 {
+		t.Fatal("plan reclaims nothing")
+	}
+
+	// The dry run deleted nothing.
+	if epochs, _ := st.Epochs(); len(epochs) != 2 {
+		t.Fatalf("dry run mutated the store: %d epochs", len(epochs))
+	}
+
+	if err := st.Prune(-1); err != nil {
+		t.Fatal(err)
+	}
+	epochs, err := st.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 1 || epochs[0].Epoch != 1 || !epochs[0].Committed {
+		t.Fatalf("after prune: %+v", epochs)
+	}
+	if orphans, _ := st.Orphans(); len(orphans) != 0 {
+		t.Fatalf("orphans survived prune: %+v", orphans)
+	}
+	// The committed epoch must still assemble byte-perfectly.
+	disk, err := storage.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := storage.NewCheckpointStore(disk).GetState(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 3*1024 {
+		t.Fatalf("recovered state is %d bytes, want %d", len(state), 3*1024)
+	}
+}
+
+func TestPruneWithoutCommitNeedsExplicitEpoch(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := storage.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.NewCheckpointStore(disk).PutState(0, 0, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.PrunePlan(-1); !errors.Is(err, cerr.ErrSpec) {
+		t.Errorf("PrunePlan(-1) with no commit: err=%v, want ErrSpec", err)
+	}
+	if err := st.Prune(-1); !errors.Is(err, cerr.ErrSpec) {
+		t.Errorf("Prune(-1) with no commit: err=%v, want ErrSpec", err)
+	}
+}
+
+func TestJobs(t *testing.T) {
+	root := t.TempDir()
+	// Two stores under the root, one of them nested deeper; a decoy dir
+	// with no ckpt tree is skipped.
+	for _, rel := range []string{"jobA", "deeper/jobB"} {
+		dir := filepath.Join(root, rel)
+		disk, err := storage.NewDisk(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := storage.NewCheckpointStore(disk)
+		if err := cs.PutState(0, 0, []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+		if rel == "jobA" {
+			if err := cs.Commit(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := storage.NewDisk(filepath.Join(root, "decoy")); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, err := Jobs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("jobs=%+v, want 2", jobs)
+	}
+	// Sorted by dir: deeper/jobB before jobA.
+	if jobs[0].HasCommit || jobs[0].Epochs != 1 {
+		t.Errorf("jobB: %+v", jobs[0])
+	}
+	if !jobs[1].HasCommit || jobs[1].CommittedEpoch != 0 || jobs[1].Epochs != 1 {
+		t.Errorf("jobA: %+v", jobs[1])
+	}
+}
