@@ -1,0 +1,271 @@
+package ccift_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ccift"
+	"ccift/internal/testseed"
+)
+
+// The chaos soak suite: whole runs of the real program over the simulated
+// substrate under seeded fault schedules. Every scenario that the protocol
+// is supposed to survive must end with output byte-identical to the
+// fault-free run; every scenario that is supposed to fail must fail with
+// exactly one taxonomy sentinel. All network time is virtual, so the whole
+// suite — partitions, 30-second-scale timeouts, multi-incarnation
+// flapping — costs milliseconds of wall clock per scenario.
+
+// soakRef computes the fault-free reference output once per program shape.
+func soakRef(t *testing.T, ranks, iters, width int) []any {
+	t.Helper()
+	res, err := ccift.Launch(context.Background(), ccift.NewSpec(
+		ccift.WithRanks(ranks), ccift.WithMode(ccift.Unmodified),
+	), stencil(iters, width))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Values
+}
+
+// launchSim runs the stencil under the scenario with checkpointing on.
+func launchSim(t *testing.T, seed int64, sc ccift.Scenario, iters, width int, extra ...ccift.Option) (*ccift.Result, error) {
+	t.Helper()
+	sc.Seed = seed
+	opts := append([]ccift.Option{
+		ccift.WithRanks(4), ccift.WithMode(ccift.Full), ccift.WithEveryN(6),
+		ccift.WithDebug(), ccift.WithSimulated(sc),
+	}, extra...)
+	return ccift.Launch(context.Background(), ccift.NewSpec(opts...), stencil(iters, width))
+}
+
+func TestChaosPartitionDuringCommit(t *testing.T) {
+	// A partition opens while checkpoint rounds are in flight: control
+	// messages (stoppedLogging, the commit broadcast) are held at the
+	// boundary until heal. The commit protocol must stall, not corrupt:
+	// output is identical to the fault-free run.
+	seed := testseed.Base(t, 1001)
+	ref := soakRef(t, 4, 30, 8)
+	sc := ccift.Scenario{
+		Latency: time.Millisecond, Jitter: 500 * time.Microsecond,
+		Partitions: []ccift.Partition{
+			{From: 20 * time.Millisecond, Until: 120 * time.Millisecond, Ranks: []int{2, 3}},
+		},
+	}
+	res, err := launchSim(t, seed, sc, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Values, ref) {
+		t.Fatalf("partitioned run diverged:\n  got %v\n  ref %v", res.Values, ref)
+	}
+}
+
+func TestChaosFlappingPeerAcrossIncarnations(t *testing.T) {
+	// The same rank crashes in two successive incarnations: it dies, the
+	// detector suspects it, the world rolls back, and the restarted rank
+	// dies again. Recovery must converge and the final output match the
+	// fault-free run.
+	seed := testseed.Base(t, 1002)
+	ref := soakRef(t, 4, 60, 8)
+	sc := ccift.Scenario{
+		Latency:         time.Millisecond,
+		DetectorTimeout: 25 * time.Millisecond,
+		Crashes: []ccift.Crash{
+			{Rank: 2, At: 40 * time.Millisecond},
+			{Rank: 2, At: 200 * time.Millisecond},
+		},
+	}
+	res, err := launchSim(t, seed, sc, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 2 {
+		t.Fatalf("restarts = %d, want both crashes to land (tune crash times)", res.Restarts)
+	}
+	if !reflect.DeepEqual(res.Values, ref) {
+		t.Fatalf("flapping run diverged:\n  got %v\n  ref %v", res.Values, ref)
+	}
+}
+
+func TestChaosDuplicatedFramesWithCrash(t *testing.T) {
+	// Heavy frame duplication plus jitter reordering, and a crash on top:
+	// every piggybacked frame may arrive twice. Exactly-once delivery below
+	// MPI semantics plus the protocol's own bookkeeping must keep the
+	// output exact through recovery.
+	seed := testseed.Base(t, 1003)
+	ref := soakRef(t, 4, 40, 8)
+	sc := ccift.Scenario{
+		Latency: time.Millisecond, Jitter: 2 * time.Millisecond,
+		DupProb:         0.3,
+		DetectorTimeout: 25 * time.Millisecond,
+		Crashes:         []ccift.Crash{{Rank: 1, At: 60 * time.Millisecond}},
+	}
+	res, err := launchSim(t, seed, sc, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 1 {
+		t.Fatal("crash never landed")
+	}
+	if !reflect.DeepEqual(res.Values, ref) {
+		t.Fatalf("duplicated run diverged:\n  got %v\n  ref %v", res.Values, ref)
+	}
+}
+
+func TestChaosSkewedDetectorClocks(t *testing.T) {
+	// Rank clocks drift against the detector's: fast and slow ranks
+	// heartbeat on distorted schedules while suspicion elapses on the true
+	// clock. Live ranks must never be falsely declared dead (the run would
+	// burn restarts), and the genuinely crashed rank must still be caught.
+	seed := testseed.Base(t, 1004)
+	ref := soakRef(t, 4, 40, 8)
+	sc := ccift.Scenario{
+		Latency:         time.Millisecond,
+		DetectorTimeout: 25 * time.Millisecond,
+		Skews: map[int]ccift.Skew{
+			0: {Rate: 1.5},
+			1: {Rate: 0.6, Offset: 3 * time.Millisecond},
+			3: {Offset: -2 * time.Millisecond, Rate: 1},
+		},
+		Crashes: []ccift.Crash{{Rank: 3, At: 50 * time.Millisecond}},
+	}
+	res, err := launchSim(t, seed, sc, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want exactly the one real crash", res.Restarts)
+	}
+	if !reflect.DeepEqual(res.Values, ref) {
+		t.Fatalf("skewed run diverged:\n  got %v\n  ref %v", res.Values, ref)
+	}
+}
+
+func TestChaosSlowStoreDuringFlush(t *testing.T) {
+	// Stable storage crawls (virtual milliseconds per chunk operation)
+	// while checkpoints are being written, and a rank dies mid-run. Slow
+	// flushes delay commits; recovery must restore from whichever epoch
+	// actually committed and still produce the exact output.
+	seed := testseed.Base(t, 1005)
+	ref := soakRef(t, 4, 40, 8)
+	sc := ccift.Scenario{
+		Latency:         time.Millisecond,
+		DetectorTimeout: 30 * time.Millisecond,
+		SlowStore:       &ccift.SlowStore{Delay: 2 * time.Millisecond, Jitter: time.Millisecond},
+		Crashes:         []ccift.Crash{{Rank: 0, At: 70 * time.Millisecond}},
+	}
+	res, err := launchSim(t, seed, sc, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 1 {
+		t.Fatal("crash never landed")
+	}
+	if !reflect.DeepEqual(res.Values, ref) {
+		t.Fatalf("slow-store run diverged:\n  got %v\n  ref %v", res.Values, ref)
+	}
+}
+
+func TestChaosExhaustedRestartsFailsWithOneSentinel(t *testing.T) {
+	// A scenario the system is NOT supposed to survive: more crashes than
+	// the restart budget. The failure must carry exactly one taxonomy
+	// sentinel — ErrMaxRestarts — like every other substrate's failures.
+	seed := testseed.Base(t, 1006)
+	sc := ccift.Scenario{
+		Latency:         time.Millisecond,
+		DetectorTimeout: 25 * time.Millisecond,
+		Crashes: []ccift.Crash{
+			{Rank: 1, At: 30 * time.Millisecond},
+			{Rank: 1, At: 150 * time.Millisecond},
+		},
+	}
+	_, err := launchSim(t, seed, sc, 60, 8, ccift.WithMaxRestarts(1))
+	assertExactlyOne(t, err, ccift.ErrMaxRestarts)
+}
+
+func TestChaosDeterministicReplay(t *testing.T) {
+	// The acceptance bar for the substrate: the same seed replays the same
+	// run — byte-identical Values, the same restart count, and the same
+	// protocol counters. (CheckpointBytesWritten attributes shared
+	// deduplicated chunks to whichever rank's goroutine stored them first,
+	// which virtual time does not schedule; it is compared as a sum.)
+	seed := testseed.Base(t, 1007)
+	sc := ccift.Scenario{
+		Latency: time.Millisecond, Jitter: time.Millisecond,
+		DropProb: 0.05, DupProb: 0.1,
+		DetectorTimeout: 25 * time.Millisecond,
+		Crashes:         []ccift.Crash{{Rank: 3, At: 45 * time.Millisecond}},
+	}
+	run := func() *ccift.Result {
+		res, err := launchSim(t, seed, sc, 40, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Values, b.Values) {
+		t.Fatalf("values diverged across identical seeds:\n  %v\n  %v", a.Values, b.Values)
+	}
+	if a.Restarts != b.Restarts || !reflect.DeepEqual(a.RecoveredEpochs, b.RecoveredEpochs) {
+		t.Fatalf("recovery shape diverged: %d/%v vs %d/%v restarts/epochs",
+			a.Restarts, a.RecoveredEpochs, b.Restarts, b.RecoveredEpochs)
+	}
+	as, aw := normalizeWritten(a.Stats)
+	bs, bw := normalizeWritten(b.Stats)
+	if !reflect.DeepEqual(as, bs) {
+		t.Fatalf("protocol counters diverged:\n  %+v\n  %+v", as, bs)
+	}
+	if aw != bw {
+		t.Fatalf("aggregate checkpoint bytes written diverged: %d vs %d", aw, bw)
+	}
+}
+
+func normalizeWritten(in []ccift.Stats) ([]ccift.Stats, int64) {
+	out := make([]ccift.Stats, len(in))
+	var sum int64
+	for i, s := range in {
+		sum += s.CheckpointBytesWritten
+		s.CheckpointBytesWritten = 0
+		out[i] = s
+	}
+	return out, sum
+}
+
+func TestSimulated512RankWorld(t *testing.T) {
+	// The scale bar: a 512-rank world with paper-scale 30-second heartbeat
+	// suspicion runs through the identical public Launch call in seconds of
+	// wall clock, because every timeout and every hop of latency is
+	// virtual. The wall-clock bound only means something at full speed, so
+	// -short (which CI pairs with the race detector's ~20x slowdown) skips
+	// it; the chaos-sim CI job runs it full.
+	if testing.Short() {
+		t.Skip("wall-clock scale bar: skipped under -short")
+	}
+	seed := testseed.Base(t, 1008)
+	start := time.Now()
+	res, err := ccift.Launch(context.Background(), ccift.NewSpec(
+		ccift.WithRanks(512), ccift.WithMode(ccift.Full), ccift.WithEveryN(2),
+		ccift.WithSimulated(ccift.Scenario{
+			Seed: seed, Latency: time.Millisecond,
+			DetectorTimeout: 30 * time.Second,
+		}),
+	), stencil(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("512-rank virtual world took %v, want < 5s", elapsed)
+	}
+	if len(res.Values) != 512 {
+		t.Fatalf("got %d values", len(res.Values))
+	}
+	for r := 1; r < 512; r++ {
+		if res.Values[r] != res.Values[0] {
+			t.Fatalf("rank %d disagrees: %v vs %v", r, res.Values[r], res.Values[0])
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	c3admin manifest <storedir> <epoch> <rank>
 //	c3admin chunks <storedir>              # chunk refcounts, most-shared first
 //	c3admin orphans <storedir>             # chunks no manifest references
+//	c3admin verify <storedir>              # re-hash every chunk against its manifest
 //	c3admin prune <storedir> [-keep N] [-apply]
 //
 // Every subcommand except "prune -apply" is read-only and safe against a
@@ -50,6 +51,8 @@ func main() {
 		err = withStore(rest, cmdChunks)
 	case "orphans":
 		err = withStore(rest, cmdOrphans)
+	case "verify":
+		err = withStore(rest, cmdVerify)
 	case "prune":
 		err = cmdPrune(rest)
 	case "help", "-h", "--help":
@@ -75,6 +78,8 @@ func usage() {
   c3admin manifest <storedir> <epoch> <rank>   one state blob's chunk list
   c3admin chunks   <storedir>                  chunk refcounts and sizes
   c3admin orphans  <storedir>                  unreferenced chunks
+  c3admin verify   <storedir>                  re-hash every chunk against
+                                               its manifest's content address
   c3admin prune    <storedir> [-keep N] [-apply]
                                                dry-run by default; -keep
                                                defaults to the committed epoch
@@ -230,6 +235,23 @@ func cmdOrphans(st *store.Store) error {
 	}
 	fmt.Printf("%d orphaned chunks, %s (reclaimed by prune)\n", len(orphans), humanBytes(total))
 	return nil
+}
+
+func cmdVerify(st *store.Store) error {
+	rep, err := st.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checked %d chunked manifests (%d inline blobs), re-hashed %d unique chunks, %s\n",
+		rep.Manifests, rep.InlineBlobs, rep.ChunksHashed, humanBytes(rep.BytesHashed))
+	if len(rep.Issues) == 0 {
+		fmt.Println("store is intact: every chunk hashes to its content address")
+		return nil
+	}
+	for _, i := range rep.Issues {
+		fmt.Printf("  CORRUPT %s\n", i)
+	}
+	return fmt.Errorf("%w: verification found %d issues", ccift.ErrStore, len(rep.Issues))
 }
 
 func cmdPrune(args []string) error {

@@ -14,11 +14,19 @@
 //	fig8 -ranks 16 -repeats 3
 //	fig8 -distributed       # each cell as real OS processes over TCP
 //	fig8 -distributed -short -app laplace   # the CI smoke path
+//	fig8 -sim -simseed 42   # each cell over the simulated substrate
 //
 // With -distributed every cell spawns one worker process per rank over a
 // full TCP mesh (the launcher re-execs this binary; the -w* flags are the
 // worker-side cell parameters and not meant for direct use), so the
 // paper's overhead curves exist for real processes, not just goroutines.
+//
+// With -sim every cell runs over the deterministic simulated network
+// (virtual time, seeded schedules): the sweep proves all four program
+// versions compute identical checksums under simulated latency, and the
+// same -simseed replays the same run bit-for-bit. Wall timings then
+// measure the simulator, not the paper's overheads, so shape verdicts are
+// skipped like -distributed's.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"ccift"
 	"ccift/internal/apps"
 	"ccift/internal/harness"
 	"ccift/internal/launch"
@@ -45,6 +54,9 @@ func main() {
 	scaleName := flag.String("scale", "quick", "problem scale: quick or paper")
 	verdicts := flag.Bool("verdicts", true, "print Section 6.2 shape verdicts")
 	distributed := flag.Bool("distributed", false, "run each cell as one OS process per rank over TCP (the paper's curves on the real-process substrate)")
+	simulated := flag.Bool("sim", false, "run each cell over the deterministic simulated substrate (virtual time, seeded network)")
+	simSeed := flag.Int64("simseed", 1, "scenario seed for -sim; the same seed replays the same sweep")
+	simLat := flag.Duration("simlat", 200*time.Microsecond, "simulated per-hop network latency for -sim")
 	short := flag.Bool("short", false, "one tiny size per chart, single repeat, no verdicts: the CI smoke path")
 	// Worker-side cell parameters: set by the -distributed launcher when it
 	// re-execs this binary, never by hand.
@@ -96,6 +108,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *distributed && *simulated {
+		fmt.Fprintln(os.Stderr, "fig8: -distributed and -sim are mutually exclusive: a sweep uses one substrate")
+		os.Exit(2)
+	}
+	if *simulated {
+		fmt.Printf("fig8: simulated substrate — seed %d, %v per-hop latency, virtual time\n", *simSeed, *simLat)
+		if *verdicts {
+			// Under virtual time the wall clock measures the simulator's
+			// event loop, not the paper's runtime overheads; only checksum
+			// agreement across the four versions is meaningful.
+			fmt.Println("fig8: -sim timings measure the simulator; skipping shape verdicts")
+			*verdicts = false
+		}
+	}
+
 	exe := ""
 	if *distributed {
 		var err error
@@ -121,9 +148,12 @@ func main() {
 		e.Repeats = *repeats
 		var table *harness.Table
 		var err error
-		if *distributed {
+		switch {
+		case *distributed:
 			table, err = e.RunContextWith(ctx, distributedRunner(exe, e.App, *ranks))
-		} else {
+		case *simulated:
+			table, err = e.RunContextWith(ctx, simRunner(*ranks, *simSeed, *simLat))
+		default:
 			table, err = e.RunContext(ctx)
 		}
 		if err != nil {
@@ -185,6 +215,34 @@ func distributedRunner(exe, app string, ranks int) harness.CellRunner {
 		// Workers stream their protocol counters back over the stats pipe,
 		// so the checkpoint-volume columns populate exactly as in-process.
 		cell := harness.Cell{Mode: mode, Seconds: elapsed, Checksum: checksum}
+		for _, s := range res.Stats {
+			cell.Checkpoints += s.CheckpointsTaken
+			cell.CheckpointMB += float64(s.CheckpointBytes) / 1e6
+			cell.LogMB += float64(s.LogBytes) / 1e6
+		}
+		return cell, nil
+	}
+}
+
+// simRunner runs one cell through the identical public Launch call over the
+// simulated substrate: same program, same checkpoint trigger, but every
+// message crosses the seeded discrete-event network in virtual time. The
+// checksum column then proves the four versions agree under simulated
+// latency too, and a repeated sweep with the same -simseed is replayable.
+func simRunner(ranks int, seed int64, latency time.Duration) harness.CellRunner {
+	return func(ctx context.Context, size harness.Size, mode protocol.Mode) (harness.Cell, error) {
+		start := time.Now()
+		res, err := ccift.Launch(ctx, ccift.NewSpec(
+			ccift.WithRanks(ranks),
+			ccift.WithMode(mode),
+			ccift.WithEveryN(size.EveryN),
+			ccift.WithInterval(size.Interval),
+			ccift.WithSimulated(ccift.Scenario{Seed: seed, Latency: latency}),
+		), size.Program)
+		if err != nil {
+			return harness.Cell{}, fmt.Errorf("simulated cell: %w", err)
+		}
+		cell := harness.Cell{Mode: mode, Seconds: time.Since(start).Seconds(), Checksum: res.Values[0]}
 		for _, s := range res.Stats {
 			cell.Checkpoints += s.CheckpointsTaken
 			cell.CheckpointMB += float64(s.CheckpointBytes) / 1e6

@@ -16,6 +16,8 @@ package detector
 import (
 	"sync"
 	"time"
+
+	"ccift/internal/clock"
 )
 
 // Detector tracks per-rank heartbeats and derives suspicions.
@@ -23,14 +25,17 @@ type Detector struct {
 	mu      sync.Mutex
 	last    []time.Time
 	timeout time.Duration
+	clk     clock.Clock
 }
 
-// New builds a detector for n ranks with the given suspicion timeout.
-// Every rank starts "just heard from", so a process that dies before its
-// first heartbeat is still detected one timeout later.
-func New(n int, timeout time.Duration) *Detector {
-	d := &Detector{last: make([]time.Time, n), timeout: timeout}
-	now := time.Now()
+// New builds a detector for n ranks with the given suspicion timeout,
+// scheduled against clk (nil selects the wall clock; the simulated
+// substrate passes its virtual clock so suspicion elapses in virtual
+// time). Every rank starts "just heard from", so a process that dies
+// before its first heartbeat is still detected one timeout later.
+func New(n int, timeout time.Duration, clk clock.Clock) *Detector {
+	d := &Detector{last: make([]time.Time, n), timeout: timeout, clk: clock.Or(clk)}
+	now := d.clk.Now()
 	for i := range d.last {
 		d.last[i] = now
 	}
@@ -40,7 +45,7 @@ func New(n int, timeout time.Duration) *Detector {
 // Heartbeat records a sign of life from rank.
 func (d *Detector) Heartbeat(rank int) {
 	d.mu.Lock()
-	d.last[rank] = time.Now()
+	d.last[rank] = d.clk.Now()
 	d.mu.Unlock()
 }
 
@@ -48,7 +53,7 @@ func (d *Detector) Heartbeat(rank int) {
 func (d *Detector) Suspects() []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	cutoff := time.Now().Add(-d.timeout)
+	cutoff := d.clk.Now().Add(-d.timeout)
 	var out []int
 	for r, t := range d.last {
 		if t.Before(cutoff) {
@@ -68,28 +73,29 @@ func (d *Detector) Suspected() bool {
 // exists (its runtime heartbeats independently of application progress, as
 // a real MPI daemon does — a process blocked in a receive is alive, a
 // stopped one is not). onSuspect fires once, with the first suspect set;
-// stop ends monitoring. Monitor returns immediately; its goroutine exits
-// after onSuspect or stop.
+// stop ends monitoring. Monitor returns immediately; ticks are a
+// re-arming timer chain on the detector's clock (no dedicated goroutine),
+// so under a virtual clock a 30-second suspicion elapses in microseconds.
+// The chain ends after onSuspect or once stop is closed.
 func (d *Detector) Monitor(period time.Duration, alive func(rank int) bool, onSuspect func([]int), stop <-chan struct{}) {
 	n := len(d.last)
-	go func() {
-		tick := time.NewTicker(period)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				for r := 0; r < n; r++ {
-					if alive(r) {
-						d.Heartbeat(r)
-					}
-				}
-				if s := d.Suspects(); len(s) > 0 {
-					onSuspect(s)
-					return
-				}
+	var tick func()
+	tick = func() {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		for r := 0; r < n; r++ {
+			if alive(r) {
+				d.Heartbeat(r)
 			}
 		}
-	}()
+		if s := d.Suspects(); len(s) > 0 {
+			onSuspect(s)
+			return
+		}
+		d.clk.AfterFunc(period, tick)
+	}
+	d.clk.AfterFunc(period, tick)
 }

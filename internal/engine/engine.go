@@ -13,6 +13,7 @@ import (
 
 	"ccift/internal/cerr"
 	"ccift/internal/ckpt"
+	"ccift/internal/clock"
 	"ccift/internal/detector"
 	"ccift/internal/mpi"
 	"ccift/internal/protocol"
@@ -101,6 +102,16 @@ type Config struct {
 	// decision with the cumulative restart count, before the next
 	// incarnation spawns.
 	OnRestart func(restarts int)
+	// Clock is the time source for the failure detector, interval
+	// triggers, and blocked/flush-time accounting; nil selects the wall
+	// clock. The simulated substrate passes its virtual clock here, so a
+	// 30-second heartbeat schedule elapses in microseconds.
+	Clock clock.Clock
+	// RankClock, when non-nil, supplies each rank's protocol-layer clock
+	// (the simulated substrate's per-rank skew); nil gives every rank
+	// Clock. The detector always runs on Clock — skew between the ranks
+	// and the detector is exactly what clock-skew scenarios probe.
+	RankClock func(rank int) clock.Clock
 }
 
 // Result reports a completed run.
@@ -375,7 +386,7 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 	if useDetector {
 		stopDetector = make(chan struct{})
 		defer close(stopDetector)
-		d := detector.New(n, cfg.DetectorTimeout)
+		d := detector.New(n, cfg.DetectorTimeout, cfg.Clock)
 		d.Monitor(cfg.DetectorTimeout/4,
 			func(rank int) bool { return !world.Killed(rank) },
 			func([]int) { world.Shutdown() },
@@ -386,6 +397,11 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			// Lifecycle note for transports that track rank goroutines
+			// (the simulated substrate's quiescence accounting): registered
+			// before the recover/shutdown defers so the rank is fully
+			// unwound when it runs.
+			defer world.RankDone(r)
 			defer func() {
 				if p := recover(); p != nil {
 					panics[r] = p
@@ -417,6 +433,10 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 						Rank: r, Incarnation: incarnation, Stats: s})
 				}
 			}
+			rankClk := cfg.Clock
+			if cfg.RankClock != nil {
+				rankClk = cfg.RankClock(r)
+			}
 			layer := protocol.NewLayer(world.Comm(r), protocol.Config{
 				Mode:              cfg.Mode,
 				Store:             cs,
@@ -429,6 +449,7 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 				ChunkSize:         cfg.ChunkSize,
 				IncrementalFreeze: cfg.IncrementalFreeze,
 				StatsSink:         sink,
+				Clock:             rankClk,
 			})
 			// The background flusher must not outlive this incarnation:
 			// Shutdown waits for an in-flight state write (registered after

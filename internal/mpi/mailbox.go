@@ -64,6 +64,7 @@ type node struct {
 // order and the head is always the earliest match.
 type bucket struct {
 	bk         bucketKey
+	tb         *tagBuckets
 	head, tail *node
 }
 
@@ -76,6 +77,19 @@ type bucketKey struct {
 type tagKey struct {
 	ctx int64
 	tag int
+}
+
+// tagBuckets is the per-(ctx, tag) index: one bucket per source, a count
+// of queued indexed nodes across all of them, and a cache of the earliest
+// such node. Together they make the AnySource match O(1) per poll: with
+// hundreds of ranks a parked receiver re-polls its specs on every wakeup,
+// and iterating a several-hundred-entry source map per poll dominated
+// 512-rank profiles. The cache is invalidated when its node is removed and
+// recomputed on the next lookup — amortized once per consumed message.
+type tagBuckets struct {
+	srcs map[int]*bucket
+	live int
+	min  *node // earliest queued node, or nil when invalidated
 }
 
 // Master-order keys are spaced keyGap apart on append; a chaos insertion
@@ -109,9 +123,9 @@ type mailbox struct {
 	// bucket order always mirrors master order because a new arrival can
 	// never be chaos-inserted ahead of a same-(ctx, source) message.
 	indexed int
-	exact   map[bucketKey]*bucket      // (ctx, tag, source) -> FIFO
-	byTag   map[tagKey]map[int]*bucket // (ctx, tag) -> source -> FIFO
-	free    *node                      // recycled nodes
+	exact   map[bucketKey]*bucket  // (ctx, tag, source) -> FIFO
+	byTag   map[tagKey]*tagBuckets // (ctx, tag) -> per-source index
+	free    *node                  // recycled nodes
 
 	// Emptied buckets stay registered so ping-pong traffic on one (ctx,
 	// tag, source) triple reuses its bucket instead of re-allocating it
@@ -124,7 +138,7 @@ func newMailbox(w *World) *mailbox {
 	b := &mailbox{
 		world: w,
 		exact: make(map[bucketKey]*bucket),
-		byTag: make(map[tagKey]map[int]*bucket),
+		byTag: make(map[tagKey]*tagBuckets),
 	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
@@ -267,14 +281,20 @@ func (b *mailbox) bucketAppend(n *node) {
 		bkt = &bucket{bk: bk}
 		b.exact[bk] = bkt
 		tk := tagKey{ctx: bk.ctx, tag: bk.tag}
-		srcs := b.byTag[tk]
-		if srcs == nil {
-			srcs = make(map[int]*bucket)
-			b.byTag[tk] = srcs
+		tb := b.byTag[tk]
+		if tb == nil {
+			tb = &tagBuckets{srcs: make(map[int]*bucket)}
+			b.byTag[tk] = tb
 		}
-		srcs[bk.source] = bkt
+		tb.srcs[bk.source] = bkt
+		bkt.tb = tb
 	} else if bkt.head == nil {
 		b.emptyBuckets--
+	}
+	tb := bkt.tb
+	tb.live++
+	if tb.min != nil && n.key < tb.min.key {
+		tb.min = n
 	}
 	b.indexed++
 	n.bkt = bkt
@@ -301,6 +321,10 @@ func (b *mailbox) remove(n *node) {
 	}
 	if bkt := n.bkt; bkt != nil {
 		b.indexed--
+		bkt.tb.live--
+		if bkt.tb.min == n {
+			bkt.tb.min = nil
+		}
 		if n.bprev != nil {
 			n.bprev.bnext = n.bnext
 		} else {
@@ -333,9 +357,9 @@ func (b *mailbox) sweepEmptyBuckets() {
 		}
 		delete(b.exact, bk)
 		tk := tagKey{ctx: bk.ctx, tag: bk.tag}
-		if srcs := b.byTag[tk]; srcs != nil {
-			delete(srcs, bk.source)
-			if len(srcs) == 0 {
+		if tb := b.byTag[tk]; tb != nil {
+			delete(tb.srcs, bk.source)
+			if len(tb.srcs) == 0 {
 				delete(b.byTag, tk)
 			}
 		}
@@ -366,11 +390,7 @@ func (b *mailbox) tryMatch(specs []RecvSpec) (int, *Message) {
 		s := &specs[si]
 		var cand *node
 		if s.Source == AnySource {
-			for _, bkt := range b.byTag[tagKey{ctx: s.ctx, tag: s.Tag}] {
-				if h := bkt.head; h != nil && (cand == nil || h.key < cand.key) {
-					cand = h
-				}
-			}
+			cand = b.minFor(b.byTag[tagKey{ctx: s.ctx, tag: s.Tag}])
 		} else if bkt := b.exact[bucketKey{ctx: s.ctx, source: s.Source, tag: s.Tag}]; bkt != nil {
 			cand = bkt.head
 		}
@@ -385,6 +405,23 @@ func (b *mailbox) tryMatch(specs []RecvSpec) (int, *Message) {
 	m := best.m
 	b.remove(best)
 	return bestSpec, m
+}
+
+// minFor returns the earliest queued node of the (ctx, tag) index, using
+// the cached value when valid and recomputing it over the source buckets
+// otherwise (mu held).
+func (b *mailbox) minFor(tb *tagBuckets) *node {
+	if tb == nil || tb.live == 0 {
+		return nil
+	}
+	if tb.min == nil {
+		for _, bkt := range tb.srcs {
+			if h := bkt.head; h != nil && (tb.min == nil || h.key < tb.min.key) {
+				tb.min = h
+			}
+		}
+	}
+	return tb.min
 }
 
 // scanMatch is the ordered fallback for wildcard-tag receives: walk the
@@ -459,11 +496,7 @@ func (b *mailbox) probe(spec RecvSpec) (bool, *Message) {
 	b.ensureIndexed()
 	var cand *node
 	if spec.Source == AnySource {
-		for _, bkt := range b.byTag[tagKey{ctx: spec.ctx, tag: spec.Tag}] {
-			if h := bkt.head; h != nil && (cand == nil || h.key < cand.key) {
-				cand = h
-			}
-		}
+		cand = b.minFor(b.byTag[tagKey{ctx: spec.ctx, tag: spec.Tag}])
 	} else if bkt := b.exact[bucketKey{ctx: spec.ctx, source: spec.Source, tag: spec.Tag}]; bkt != nil {
 		cand = bkt.head
 	}

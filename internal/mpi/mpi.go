@@ -182,6 +182,24 @@ func (w *World) Interrupt() { w.tr.Interrupt() }
 // Dead reports whether Shutdown has been called.
 func (w *World) Dead() bool { return w.dead.Load() }
 
+// RankObserver is an optional Transport extension: a transport that
+// tracks per-rank goroutine lifecycle (the simulated substrate's
+// quiescence accounting) implements it to learn when a rank's goroutine
+// has exited for good this incarnation.
+type RankObserver interface {
+	RankDone(rank int)
+}
+
+// RankDone tells the transport that rank's goroutine has exited — by
+// completing, or by unwinding from a failure. The engine calls it exactly
+// once per rank per incarnation; transports that don't observe rank
+// lifecycle ignore it.
+func (w *World) RankDone(rank int) {
+	if o, ok := w.tr.(RankObserver); ok {
+		o.RankDone(rank)
+	}
+}
+
 // Failures returns the ranks observed to have stop-failed so far.
 func (w *World) Failures() []int {
 	w.failMu.Lock()

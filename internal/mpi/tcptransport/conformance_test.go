@@ -19,6 +19,7 @@ import (
 
 	"ccift/internal/mpi"
 	"ccift/internal/mpi/tcptransport"
+	"ccift/internal/sim"
 )
 
 // cluster is the substrate-neutral view of an n-rank world set.
@@ -83,9 +84,28 @@ func buildTCP(t *testing.T, n int) *cluster {
 	}
 }
 
+// buildSim runs the suite over the simulated substrate with a zero-latency
+// fault-free scenario: every frame crosses the discrete-event scheduler and
+// the wire codec, and due events dispatch eagerly, so the simulation must be
+// observationally identical to an ordinary transport here.
+func buildSim(t *testing.T, n int) *cluster {
+	s, err := sim.New(n, sim.Scenario{Seed: 1})
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	w := mpi.NewWorld(n, mpi.Options{NewTransport: s.NewTransport})
+	return &cluster{
+		n:     n,
+		tr:    func(int) mpi.Transport { return w.Transport() },
+		world: func(int) *mpi.World { return w },
+		close: s.Stop,
+	}
+}
+
 var substrates = []substrate{
 	{"inproc", buildInproc},
 	{"tcp", buildTCP},
+	{"sim", buildSim},
 }
 
 func msg(src, tag int, seq uint32) *mpi.Message {

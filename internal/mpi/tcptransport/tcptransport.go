@@ -137,7 +137,7 @@ func New(cfg Config) (*Transport, error) {
 	t := &Transport{
 		cfg:   cfg,
 		ln:    ln,
-		det:   detector.New(cfg.Size, cfg.SuspectTimeout),
+		det:   detector.New(cfg.Size, cfg.SuspectTimeout, nil),
 		peers: make([]*peerConn, cfg.Size),
 		done:  make([]bool, cfg.Size),
 		stop:  make(chan struct{}),

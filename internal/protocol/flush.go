@@ -52,9 +52,9 @@ func (l *Layer) startFlush(p *pendingCheckpoint) {
 func (l *Layer) flushLoop() {
 	defer l.flushWG.Done()
 	for p := range l.flushJobs {
-		start := time.Now()
+		start := l.clk.Now()
 		total, written, err := l.writeState(p)
-		l.flushOut <- flushResult{epoch: p.epoch, total: total, written: written, dur: time.Since(start), err: err}
+		l.flushOut <- flushResult{epoch: p.epoch, total: total, written: written, dur: l.clk.Since(start), err: err}
 		// Wake ranks parked in the transport (ServiceControlUntil) so the
 		// completion is observed without waiting for unrelated traffic.
 		l.comm.World().Interrupt()

@@ -10,6 +10,7 @@ import (
 
 	"ccift/internal/cerr"
 	"ccift/internal/ckpt"
+	"ccift/internal/clock"
 	"ccift/internal/mpi"
 	"ccift/internal/storage"
 )
@@ -108,6 +109,11 @@ type Config struct {
 	// goroutine; the substrate uses them to stream live counters to a
 	// launcher or metrics endpoint.
 	StatsSink func(Stats)
+	// Clock is the time source for interval triggers, control deadlines,
+	// and blocked/flush-time accounting; nil selects the wall clock. The
+	// simulated substrate passes a virtual (possibly per-rank skewed)
+	// clock here.
+	Clock clock.Clock
 }
 
 // Stats counts protocol activity for the evaluation harness. The json
@@ -164,6 +170,7 @@ type Layer struct {
 	cfg  Config
 	rank int
 	size int
+	clk  clock.Clock
 
 	// Saver holds the application state (PS/VDS/heap) that a Full-mode
 	// checkpoint serializes.
@@ -259,6 +266,7 @@ func NewLayer(comm *mpi.Comm, cfg Config) *Layer {
 	for i := range l.totalSent {
 		l.totalSent[i] = -1
 	}
+	l.clk = clock.Or(cfg.Clock)
 	if cfg.Ctx != nil {
 		l.done = cfg.Ctx.Done()
 	}
@@ -267,7 +275,7 @@ func NewLayer(comm *mpi.Comm, cfg Config) *Layer {
 	l.Saver.VDS.Primary = l.rank == 0
 	l.Saver.Incremental = cfg.IncrementalFreeze
 	if l.rank == 0 && cfg.Mode >= NoAppState {
-		l.init = &initiatorState{lastStart: time.Now()}
+		l.init = &initiatorState{lastStart: l.clk.Now()}
 	}
 	return l
 }
@@ -421,7 +429,7 @@ func (l *Layer) maybeInitiate(force bool) {
 	if !fire && l.cfg.EveryN > 0 && l.init.sincePrev >= int64(l.cfg.EveryN) {
 		fire = true
 	}
-	if !fire && l.cfg.Interval > 0 && time.Since(l.init.lastStart) >= l.cfg.Interval {
+	if !fire && l.cfg.Interval > 0 && l.clk.Since(l.init.lastStart) >= l.cfg.Interval {
 		fire = true
 	}
 	if !fire {
@@ -431,7 +439,7 @@ func (l *Layer) maybeInitiate(force bool) {
 	l.init.target = l.epoch + 1
 	l.init.ready = 0
 	l.init.stopped = 0
-	l.init.lastStart = time.Now()
+	l.init.lastStart = l.clk.Now()
 	l.init.sincePrev = 0
 	for q := 0; q < l.size; q++ {
 		l.sendCtl(q, tagPleaseCheckpoint, uint64(l.init.target))
@@ -531,7 +539,7 @@ func (l *Layer) PotentialCheckpoint() {
 // flush (writeState: serialize + chunked durable write), which runs
 // inline in sync mode and on the background flusher in async mode.
 func (l *Layer) takeCheckpoint() {
-	start := time.Now()
+	start := l.clk.Now()
 	l.epoch++
 
 	// Save node state: application state (Section 5.1) + MPI library state
@@ -548,12 +556,12 @@ func (l *Layer) takeCheckpoint() {
 		// Inline write, integrated through the same path as a finished
 		// background flush so the two modes cannot drift (stats, trace
 		// event, cancellation translation).
-		fstart := time.Now()
+		fstart := l.clk.Now()
 		total, written, err := l.writeState(p)
-		l.finishFlush(flushResult{epoch: p.epoch, total: total, written: written, dur: time.Since(fstart), err: err})
+		l.finishFlush(flushResult{epoch: p.epoch, total: total, written: written, dur: l.clk.Since(fstart), err: err})
 	}
 	l.Stats.CheckpointsTaken++
-	l.Stats.CheckpointBlockedNs += time.Since(start).Nanoseconds()
+	l.Stats.CheckpointBlockedNs += l.clk.Since(start).Nanoseconds()
 	l.emitStats()
 
 	// Tell every receiver how many messages we sent it in the epoch that
@@ -644,16 +652,16 @@ func (l *Layer) ServiceControlUntil(stop func() bool) {
 		// completion, and this condition turns the interrupt into a loop
 		// iteration.
 		wake := func() bool { return stop() || l.flushReady() }
-		var timer *time.Timer
+		var timer clock.Timer
 		if l.init != nil && l.cfg.Interval > 0 && !l.init.inProgress {
 			// The interval trigger must fire even with no inbound traffic;
 			// arm a one-shot wakeup for the next deadline instead of
 			// polling the clock.
 			deadline := l.init.lastStart.Add(l.cfg.Interval)
 			world := l.comm.World()
-			timer = time.AfterFunc(time.Until(deadline), world.Interrupt)
+			timer = l.clk.AfterFunc(deadline.Sub(l.clk.Now()), world.Interrupt)
 			base := wake
-			wake = func() bool { return base() || !time.Now().Before(deadline) }
+			wake = func() bool { return base() || !l.clk.Now().Before(deadline) }
 		}
 		idx, m := l.comm.SelectWait(controlSpecs, wake)
 		if timer != nil {

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"sync"
+
+	"ccift/internal/storage"
+)
+
+// slowStore wraps a stable store with seeded virtual-time delays on Put
+// and Get, modeling a slow or bursty disk. Because the delay is a virtual
+// sleep, the calling rank counts as blocked (time advances past it) and
+// the stall lands deterministically in the protocol's blocked-time
+// counters at zero wall cost.
+type slowStore struct {
+	inner storage.Stable
+	s     *Sim
+	cfg   SlowStore
+
+	mu  sync.Mutex
+	rng *prng
+}
+
+// WrapStore returns st wrapped with the scenario's SlowStore injection,
+// or st unchanged when the scenario has none.
+func (s *Sim) WrapStore(st storage.Stable) storage.Stable {
+	if s.sc.SlowStore == nil || (s.sc.SlowStore.Delay <= 0 && s.sc.SlowStore.Jitter <= 0) {
+		return st
+	}
+	return &slowStore{
+		inner: st,
+		s:     s,
+		cfg:   *s.sc.SlowStore,
+		rng:   newPRNG(mix(s.sc.Seed, 0x570e)),
+	}
+}
+
+// delay draws this operation's stall. The draw order is the store-stream
+// PRNG's call order; store operations are serialized per run phase, so
+// the sequence is deterministic for deterministic programs.
+func (st *slowStore) delay() {
+	st.mu.Lock()
+	d := st.cfg.Delay
+	if st.cfg.Jitter > 0 {
+		d += draw(st.rng, st.cfg.Jitter)
+	}
+	skip := st.cfg.Prob > 0 && st.cfg.Prob < 1 && st.rng.Float64() >= st.cfg.Prob
+	st.mu.Unlock()
+	if skip || d <= 0 {
+		return
+	}
+	st.s.Sleep(d)
+}
+
+func (st *slowStore) Put(key string, data []byte) error {
+	st.delay()
+	return st.inner.Put(key, data)
+}
+
+func (st *slowStore) Get(key string) ([]byte, error) {
+	st.delay()
+	return st.inner.Get(key)
+}
+
+func (st *slowStore) Delete(key string) error { return st.inner.Delete(key) }
+
+func (st *slowStore) List(prefix string) ([]string, error) { return st.inner.List(prefix) }

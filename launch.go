@@ -4,11 +4,14 @@ import (
 	"context"
 	"os"
 	"strings"
+	"time"
 
 	"ccift/internal/engine"
 	"ccift/internal/launch"
 	"ccift/internal/mpi"
 	"ccift/internal/protocol"
+	"ccift/internal/sim"
+	"ccift/internal/storage"
 )
 
 // RunError is the structured failure report Launch (and Run) return: which
@@ -49,7 +52,9 @@ type Transport = mpi.Transport
 // Config. With WithDistributed the same program runs as one OS process per
 // rank over a full TCP mesh, checkpoints in a shared on-disk store, and
 // failures delivered as real SIGKILLs; Launch plays the launcher role,
-// re-executing the current binary for each rank.
+// re-executing the current binary for each rank. With WithSimulated the
+// same program runs over a deterministic simulated network with virtual
+// time and a seeded fault schedule (see Scenario).
 //
 // Worker role: in a distributed run each spawned worker re-enters the
 // caller's own code path and reaches this same Launch call; Launch detects
@@ -91,6 +96,34 @@ func Launch(ctx context.Context, spec *Spec, prog Program) (*Result, error) {
 		return launchDistributed(ctx, spec, prog)
 	}
 	cfg := spec.cfg
+	if spec.sim != nil {
+		s, err := sim.New(cfg.Ranks, *spec.sim)
+		if err != nil {
+			return nil, err // Validate vets the scenario, so this is defensive
+		}
+		defer s.Stop()
+		cfg.NewTransport = s.NewTransport
+		cfg.Clock = s.DetectorClock()
+		cfg.RankClock = s.RankClock
+		// Determinism requires every actor to be event-driven: the async
+		// flusher goroutine computes in wall time the scheduler cannot
+		// order, so simulation forces the synchronous checkpoint path.
+		cfg.SyncCheckpoint = true
+		if spec.sim.SlowStore != nil {
+			st := cfg.Store
+			if st == nil {
+				st = storage.NewMemory()
+			}
+			cfg.Store = s.WrapStore(st)
+		}
+		if spec.sim.DetectorTimeout != 0 {
+			cfg.DetectorTimeout = spec.sim.DetectorTimeout
+		} else if cfg.DetectorTimeout == 0 {
+			// Scenario crashes are silent stops; only the heartbeat
+			// detector can observe them, and virtual timeouts are free.
+			cfg.DetectorTimeout = 500 * time.Millisecond
+		}
+	}
 	if spec.metricsAddr != "" {
 		mr, err := newMetricsRun(spec.metricsAddr, cfg.Ranks)
 		if err != nil {

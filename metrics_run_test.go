@@ -1,0 +1,93 @@
+package ccift
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ccift/internal/protocol"
+)
+
+// TestMetricsRunHistogramAndPerRank drives the WithMetricsAddr wiring the
+// way a run does — cumulative stats frames through the aggregator — and
+// checks the derived views: the per-checkpoint blocked-time histogram
+// (built from frame deltas) and the per-rank labeled families, including
+// their monotonicity across a rank restart.
+func TestMetricsRunHistogramAndPerRank(t *testing.T) {
+	m, err := newMetricsRun("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+
+	frame := func(rank, inc int, ckpts, blockedNs int64) protocol.StatsFrame {
+		return protocol.StatsFrame{
+			Rank:        rank,
+			Incarnation: inc,
+			Stats:       protocol.Stats{CheckpointsTaken: ckpts, CheckpointBlockedNs: blockedNs},
+		}
+	}
+	agg := protocol.NewAggregator(m.observe)
+	agg.Observe(frame(0, 0, 1, 2e6))           // one checkpoint, 2ms blocked
+	agg.Observe(frame(0, 0, 3, 2e6+2*5e8))     // two more at 0.5s each
+	agg.Observe(frame(1, 0, 1, 5e4))           // one at 50µs
+	agg.Observe(frame(1, 1, 1, 1e6))           // rank 1 restarted: counters reset
+	agg.Observe(frame(0, 0, 3, 2e6+2*5e8+7e3)) // no new checkpoint: no observation
+
+	out := m.reg.Render()
+	for _, want := range []string{
+		// Histogram: 5 checkpoints observed — 50µs, 1ms (on the bound),
+		// 2ms, and two 0.5s stalls; nothing in overflow.
+		"# TYPE ccift_checkpoint_blocked_ns histogram",
+		`ccift_checkpoint_blocked_ns_bucket{le="100000"} 1`,
+		`ccift_checkpoint_blocked_ns_bucket{le="1000000"} 2`,
+		`ccift_checkpoint_blocked_ns_bucket{le="10000000"} 3`,
+		`ccift_checkpoint_blocked_ns_bucket{le="1000000000"} 5`,
+		`ccift_checkpoint_blocked_ns_bucket{le="+Inf"} 5`,
+		"ccift_checkpoint_blocked_ns_count 5",
+		// Per-rank families: rank 1's totals bridge the restart
+		// (incarnation 0 is folded in, not forgotten).
+		`ccift_rank_checkpoints_total{rank="0"} 3`,
+		`ccift_rank_checkpoints_total{rank="1"} 2`,
+		`ccift_rank_checkpoint_blocked_ns_total{rank="1"} 1050000`,
+		`ccift_rank_incarnation{rank="0"} 0`,
+		`ccift_rank_incarnation{rank="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	// The same view must be scrapeable over HTTP.
+	resp, err := http.Get("http://" + m.addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `ccift_rank_checkpoints_total{rank="0"} 3`) {
+		t.Errorf("scrape missing per-rank series:\n%s", body)
+	}
+}
+
+// TestMetricsRunSeriesExistAtZero pins the scrape-early guarantee: every
+// per-rank child exists before the first frame arrives.
+func TestMetricsRunSeriesExistAtZero(t *testing.T) {
+	m, err := newMetricsRun("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	out := m.reg.Render()
+	for _, want := range []string{
+		`ccift_rank_checkpoints_total{rank="0"} 0`,
+		`ccift_rank_checkpoints_total{rank="2"} 0`,
+		`ccift_rank_checkpoint_blocked_ns_total{rank="1"} 0`,
+		`ccift_checkpoint_blocked_ns_count 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fresh registry missing %q in:\n%s", want, out)
+		}
+	}
+}

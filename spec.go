@@ -8,6 +8,7 @@ import (
 	"ccift/internal/cerr"
 	"ccift/internal/engine"
 	"ccift/internal/protocol"
+	"ccift/internal/sim"
 )
 
 // Spec describes a run for Launch. Build one with NewSpec and functional
@@ -18,6 +19,7 @@ import (
 type Spec struct {
 	cfg         engine.Config
 	distributed *Distributed
+	sim         *sim.Scenario
 	metricsAddr string
 }
 
@@ -126,6 +128,45 @@ func WithTransport(f func(w *World) Transport) Option {
 	return func(s *Spec) { s.cfg.NewTransport = f }
 }
 
+// Scenario configures the simulated substrate selected by WithSimulated:
+// the seed every pseudo-random schedule derives from, per-link latency and
+// jitter, drop/duplication probabilities, partition windows, scheduled rank
+// crashes, per-rank clock skew, and stable-storage slowdown. The zero
+// Scenario is a fault-free zero-latency network. Scenarios marshal to JSON
+// (String renders it), so a failing run's schedule can be stored and
+// replayed exactly.
+type Scenario = sim.Scenario
+
+// Partition is a Scenario network-partition window.
+type Partition = sim.Partition
+
+// Crash is a Scenario entry stopping a rank at a virtual time.
+type Crash = sim.Crash
+
+// Skew is a Scenario per-rank clock offset and rate distortion.
+type Skew = sim.Skew
+
+// SlowStore is a Scenario stable-storage slowdown model.
+type SlowStore = sim.SlowStore
+
+// WithSimulated selects the simulated substrate: ranks still run as
+// goroutines, but every message crosses a simulated network driven by a
+// deterministic discrete-event scheduler with virtual time. Timeouts,
+// heartbeat schedules and latency distributions elapse in virtual time, so
+// a 30-second suspicion timeout costs microseconds of wall clock, and the
+// entire schedule — deliveries, duplicates, retransmissions, partitions,
+// crashes — is a pure function of the scenario, replayable from its seed.
+//
+// Under simulation the engine runs the synchronous checkpoint path: the
+// async flusher's compute/flush overlap is a wall-clock optimization whose
+// scheduling the simulation cannot order deterministically. Scenario
+// crashes are silent stops, so failure detection defaults to the heartbeat
+// detector (Scenario.DetectorTimeout, then WithDetectorTimeout, then a
+// 500ms virtual default) rather than the instantaneous self-report.
+func WithSimulated(sc Scenario) Option {
+	return func(s *Spec) { s.sim = &sc }
+}
+
 // Distributed configures the TCP/process substrate: one OS process per
 // rank, wire messages over a full TCP mesh, checkpoints in a shared
 // on-disk store, failures as real SIGKILLs.
@@ -171,6 +212,18 @@ func WithMetricsAddr(addr string) Option {
 func (s *Spec) Validate() error {
 	if err := s.cfg.Validate(); err != nil {
 		return err
+	}
+	if s.sim != nil {
+		if s.distributed != nil {
+			return fmt.Errorf("%w: WithSimulated and WithDistributed are mutually exclusive: a run uses one substrate", cerr.ErrSpec)
+		}
+		if s.cfg.NewTransport != nil {
+			return fmt.Errorf("%w: WithTransport and WithSimulated are mutually exclusive: the simulated substrate brings its own transport", cerr.ErrSpec)
+		}
+		if err := s.sim.Validate(s.cfg.Ranks); err != nil {
+			// Validate's errors already carry cerr.ErrSpec.
+			return fmt.Errorf("simulated scenario: %w", err)
+		}
 	}
 	if d := s.distributed; d != nil {
 		if s.cfg.Store != nil {

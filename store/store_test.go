@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -279,5 +280,94 @@ func TestJobs(t *testing.T) {
 	}
 	if !jobs[1].HasCommit || jobs[1].CommittedEpoch != 0 || jobs[1].Epochs != 1 {
 		t.Errorf("jobA: %+v", jobs[1])
+	}
+}
+
+func TestVerifyIntactStore(t *testing.T) {
+	st, err := Open(seedStore(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Issues) != 0 {
+		t.Fatalf("intact store reported issues: %v", rep.Issues)
+	}
+	// 4 chunked manifests (2 epochs x 2 ranks), no inline blobs; the 5
+	// referenced unique chunks are hashed once each despite 12 references
+	// (the orphan is unreferenced and not hashed).
+	if rep.Manifests != 4 || rep.InlineBlobs != 0 {
+		t.Fatalf("manifests=%d inline=%d, want 4/0", rep.Manifests, rep.InlineBlobs)
+	}
+	if rep.ChunksHashed != 5 || rep.BytesHashed != 5*1024 {
+		t.Fatalf("hashed %d chunks / %d bytes, want 5 / %d", rep.ChunksHashed, rep.BytesHashed, 5*1024)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dir := seedStore(t)
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the most-shared chunk (the 0xAA prefix, referenced by all four
+	// manifests) and flip a byte in place, preserving the length.
+	chunks, err := st.Chunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := chunks[0]
+	p := filepath.Join(dir, "ckpt", "chunks", shared.Hash)
+	blob, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[0] ^= 0xFF
+	if err := os.WriteFile(p, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one single-referenced chunk outright.
+	var missing Chunk
+	for _, c := range chunks {
+		if c.Refs == 2 {
+			missing = c
+			break
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, "ckpt", "chunks", missing.Hash)); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flipped chunk is referenced by 4 manifests, the deleted one by
+	// 2: six issues, each naming the manifest and the chunk.
+	if len(rep.Issues) != 6 {
+		t.Fatalf("issues=%d (%v), want 6", len(rep.Issues), rep.Issues)
+	}
+	var mismatches, gone int
+	for _, i := range rep.Issues {
+		switch i.Chunk {
+		case shared.Hash:
+			mismatches++
+		case missing.Hash:
+			gone++
+		default:
+			t.Errorf("unexpected issue %v", i)
+		}
+		if i.Key == "" || i.Detail == "" {
+			t.Errorf("issue missing key or detail: %+v", i)
+		}
+	}
+	if mismatches != 4 || gone != 2 {
+		t.Fatalf("mismatches=%d gone=%d, want 4/2", mismatches, gone)
+	}
+	// The corrupt chunk was still hashed only once.
+	if rep.ChunksHashed != 4 {
+		t.Fatalf("hashed %d chunks, want 4 (5 referenced, 1 missing)", rep.ChunksHashed)
 	}
 }
