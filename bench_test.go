@@ -14,7 +14,9 @@ package ccift_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"ccift"
 	"ccift/internal/apps/cg"
@@ -420,14 +422,20 @@ func BenchmarkCheckpointDirtyFraction(b *testing.B) {
 	// frozen epoch to share), and over 8 epochs that cold start alone kept
 	// the 10%-dirty incremental average above the 20% acceptance bar.
 	const ckpts = 16
+	// The -vds variants hold the same 16MB as ONE registered []float64 grid
+	// instead of heap pages: dirty tracking there is the page-granular VDS
+	// path (TouchRange stamping 64KB pages inside the entry) introduced in
+	// PR 9, where the heap variants exercise per-block tracking from PR 5.
+	const gridElems = stateKB << 10 / 8
+	const elemsPerPage = pageKB << 10 / 8
 	for _, pct := range []int{1, 10, 50} {
-		for _, variant := range []string{"full", "incr"} {
+		for _, variant := range []string{"full", "incr", "full-vds", "incr-vds"} {
 			b.Run(fmt.Sprintf("state=%dKB/dirty=%d%%/%s", stateKB, pct, variant), func(b *testing.B) {
 				dirtyPages := pages * pct / 100
 				if dirtyPages < 1 {
 					dirtyPages = 1
 				}
-				prog := func(r *engine.Rank) (any, error) {
+				heapProg := func(r *engine.Rank) (any, error) {
 					var it int
 					r.Register("it", &it)
 					h := r.Heap()
@@ -456,6 +464,31 @@ func BenchmarkCheckpointDirtyFraction(b *testing.B) {
 					}
 					return nil, nil
 				}
+				vdsProg := func(r *engine.Rank) (any, error) {
+					var it int
+					grid := make([]float64, gridElems)
+					for i := range grid {
+						grid[i] = float64(i) // distinct contents, as above
+					}
+					r.Register("it", &it)
+					r.Register("grid", &grid)
+					for ; it < 1_000_000 && r.Epoch() < ckpts; it++ {
+						start := r.Epoch() * 7919
+						for p := 0; p < dirtyPages; p++ {
+							off := ((start + p) % pages) * elemsPerPage
+							for j := 0; j < 128; j++ {
+								grid[off+(it*131+j*509)%elemsPerPage]++
+							}
+							r.TouchRange("grid", off, elemsPerPage)
+						}
+						r.PotentialCheckpoint()
+					}
+					return nil, nil
+				}
+				prog := heapProg
+				if strings.HasSuffix(variant, "-vds") {
+					prog = vdsProg
+				}
 				var blocked, taken, copied, logical, written int64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -465,7 +498,7 @@ func BenchmarkCheckpointDirtyFraction(b *testing.B) {
 					}
 					res, err := engine.Run(engine.Config{
 						Ranks: 1, Mode: protocol.Full, EveryN: 1, Store: disk,
-						IncrementalFreeze: variant == "incr",
+						FullFreeze: strings.HasPrefix(variant, "full"),
 					}, prog)
 					if err != nil {
 						b.Fatal(err)
@@ -485,6 +518,75 @@ func BenchmarkCheckpointDirtyFraction(b *testing.B) {
 				b.ReportMetric(float64(written)/float64(logical), "written/logical-bytes")
 			})
 		}
+	}
+}
+
+// BenchmarkAsyncRankSlowdown measures how much the checkpoint pipeline
+// slows the compute rank: a fixed-work iteration loop checkpoints 16MB of
+// state every 4 iterations over a disk store, and ns/iter is compared
+// against a no-checkpoint baseline of the same program (the "none" run
+// inside each variant). sync blocks for the whole flush; async overlaps
+// it; async-nogov disables the bandwidth governor, so its delta over
+// async is the protection the governor buys when flush I/O competes with
+// compute. CI turns slowdown-vs-none into BENCH_pr9.json.
+func BenchmarkAsyncRankSlowdown(b *testing.B) {
+	const gridElems = (16384 << 10) / 8
+	const iters = 64
+	const everyN = 4
+	prog := func(r *engine.Rank) (any, error) {
+		var it int
+		var acc float64
+		grid := make([]float64, gridElems)
+		for i := range grid {
+			grid[i] = float64(i % 1024)
+		}
+		r.Register("it", &it)
+		r.Register("acc", &acc)
+		r.Register("grid", &grid)
+		for ; it < iters; it++ {
+			r.PotentialCheckpoint()
+			// Fixed compute per iteration: a full read reduction over the
+			// grid (the dominant cost, untouched state) plus a write sweep
+			// over one rotating ~3% window, recorded page-granularly.
+			for j := 0; j < gridElems; j++ {
+				acc += grid[j]
+			}
+			const window = gridElems / 32
+			off := (it % 32) * window
+			for j := off; j < off+window; j++ {
+				grid[j] = grid[j]*0.999 + 1
+			}
+			r.TouchRange("grid", off, window)
+		}
+		return acc, nil
+	}
+	run := func(b *testing.B, cfg engine.Config) time.Duration {
+		b.Helper()
+		t0 := time.Now()
+		if _, err := engine.Run(cfg, prog); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	for _, variant := range []string{"sync", "async", "async-nogov"} {
+		b.Run(variant, func(b *testing.B) {
+			var base, with time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base += run(b, engine.Config{Ranks: 1, Mode: protocol.Unmodified})
+				disk, err := storage.NewDisk(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				with += run(b, engine.Config{
+					Ranks: 1, Mode: protocol.Full, EveryN: everyN, Store: disk,
+					SyncCheckpoint:  variant == "sync",
+					NoFlushGovernor: variant == "async-nogov",
+				})
+			}
+			b.ReportMetric(float64(with.Nanoseconds())/float64(int64(iters)*int64(b.N)), "ns/iter")
+			b.ReportMetric(float64(with)/float64(base), "slowdown-vs-none")
+		})
 	}
 }
 

@@ -34,6 +34,7 @@ func stencil(iters, width int) ccift.Program {
 			}
 			norm := r.AllreduceF64([]float64{x[0]}, ccift.SumF64)
 			x[0] = norm[0] / float64(n)
+			r.Touch("x")
 		}
 		total := r.AllreduceF64([]float64{x[0] + x[width-1]}, ccift.SumF64)
 		return fmt.Sprintf("%.9f", total[0]), nil

@@ -169,6 +169,51 @@ func TestChaosSlowStoreDuringFlush(t *testing.T) {
 	}
 }
 
+func TestChaosThrottledFlushCrashRecovery(t *testing.T) {
+	// PR 9's flush pipeline under chaos: a hard bandwidth cap
+	// (WithFlushBandwidth) meters every checkpoint write through the
+	// governor's token bucket — whose sleeps elapse on the scenario's
+	// VIRTUAL clock — while the store itself crawls and a rank dies with
+	// throttled flushes in flight. Slow, metered flushes delay commits;
+	// recovery must come from whichever epoch actually committed and
+	// reproduce the fault-free output exactly. The incremental freeze
+	// default is active throughout, so this also soaks dirty-region
+	// capture under throttling.
+	seed := testseed.Base(t, 1009)
+	ref := soakRef(t, 4, 40, 8)
+	sc := ccift.Scenario{
+		Latency:         time.Millisecond,
+		DetectorTimeout: 30 * time.Millisecond,
+		SlowStore:       &ccift.SlowStore{Delay: time.Millisecond},
+		Crashes:         []ccift.Crash{{Rank: 2, At: 60 * time.Millisecond}},
+	}
+	res, err := launchSim(t, seed, sc, 40, 8, ccift.WithFlushBandwidth(2<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 1 {
+		t.Fatal("crash never landed")
+	}
+	if !reflect.DeepEqual(res.Values, ref) {
+		t.Fatalf("throttled run diverged:\n  got %v\n  ref %v", res.Values, ref)
+	}
+	var throttled int64
+	for _, s := range res.Stats {
+		throttled += s.FlushThrottleNs
+	}
+	if throttled == 0 {
+		t.Fatal("FlushThrottleNs = 0 across all ranks: the bandwidth cap never engaged")
+	}
+
+	// The same throttled world with a second crash over a one-restart
+	// budget must fail with exactly one taxonomy sentinel, like every
+	// other substrate failure.
+	sc.Crashes = append(sc.Crashes, ccift.Crash{Rank: 2, At: 400 * time.Millisecond})
+	_, err = launchSim(t, seed, sc, 40, 8,
+		ccift.WithFlushBandwidth(2<<10), ccift.WithMaxRestarts(1))
+	assertExactlyOne(t, err, ccift.ErrMaxRestarts)
+}
+
 func TestChaosExhaustedRestartsFailsWithOneSentinel(t *testing.T) {
 	// A scenario the system is NOT supposed to survive: more crashes than
 	// the restart budget. The failure must carry exactly one taxonomy

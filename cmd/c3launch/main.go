@@ -45,7 +45,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "cancel the job after this long (0: no deadline)")
 	verbose := flag.Bool("v", false, "log spawn/exit events")
 	syncCkpt := flag.Bool("sync", false, "blocking checkpoint writes (the Figure 8 baseline) instead of the async pipeline")
-	incremental := flag.Bool("incremental", false, "dirty-region freeze: copy only regions the app touched since the last checkpoint (the bundled apps honor the Touch contract)")
+	incremental := flag.Bool("incremental", true, "dirty-region freeze (the default): copy only regions the app touched since the last checkpoint; -incremental=false re-copies the whole state every checkpoint and waives the Touch contract")
+	crossCheck := flag.Bool("crosscheck", false, "freeze verifier debug mode: fail the run, naming the variable, if a mutation escaped Touch/TouchRange (costs a full state encode per checkpoint)")
+	flushBW := flag.Float64("flushbw", 0, "cap checkpoint flush bandwidth in bytes/sec on top of the adaptive governor (0: no fixed cap)")
 	var kills apps.KillFlag
 	flag.Var(&kills, "kill", "rank@op real-SIGKILL failure (repeatable; i-th flag = i-th incarnation)")
 	flag.Parse()
@@ -72,6 +74,12 @@ func main() {
 			DetectorTimeout: *detector,
 			Verbose:         *verbose,
 		}),
+	}
+	if *crossCheck {
+		opts = append(opts, ccift.WithFreezeCrossCheck())
+	}
+	if *flushBW > 0 {
+		opts = append(opts, ccift.WithFlushBandwidth(*flushBW))
 	}
 	if *metricsAddr != "" {
 		opts = append(opts, ccift.WithMetricsAddr(*metricsAddr))

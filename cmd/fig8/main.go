@@ -12,6 +12,7 @@
 //	fig8 -app cg            # one chart
 //	fig8 -scale paper       # the paper's problem-size regime (slow)
 //	fig8 -ranks 16 -repeats 3
+//	fig8 -async             # governed async pipeline instead of blocking ckpts
 //	fig8 -distributed       # each cell as real OS processes over TCP
 //	fig8 -distributed -short -app laplace   # the CI smoke path
 //	fig8 -sim -simseed 42   # each cell over the simulated substrate
@@ -53,6 +54,7 @@ func main() {
 	repeats := flag.Int("repeats", 3, "repetitions per cell; the best run is reported")
 	scaleName := flag.String("scale", "quick", "problem scale: quick or paper")
 	verdicts := flag.Bool("verdicts", true, "print Section 6.2 shape verdicts")
+	async := flag.Bool("async", false, "measure the governed asynchronous flush pipeline instead of the paper's blocking checkpoints (see README: the default figure stays sync)")
 	distributed := flag.Bool("distributed", false, "run each cell as one OS process per rank over TCP (the paper's curves on the real-process substrate)")
 	simulated := flag.Bool("sim", false, "run each cell over the deterministic simulated substrate (virtual time, seeded network)")
 	simSeed := flag.Int64("simseed", 1, "scenario seed for -sim; the same seed replays the same sweep")
@@ -66,10 +68,11 @@ func main() {
 	witers := flag.Int("witers", 0, "internal: worker cell iterations")
 	wevery := flag.Int("wevery", 0, "internal: worker cell checkpoint trigger")
 	wmode := flag.String("wmode", "", "internal: worker cell protocol mode")
+	wasync := flag.Bool("wasync", false, "internal: worker cell async pipeline")
 	flag.Parse()
 
 	if launch.IsWorker() {
-		workerMain(*wapp, *wranks, *wsize, *witers, *wevery, *wmode)
+		workerMain(*wapp, *wranks, *wsize, *witers, *wevery, *wmode, *wasync)
 	}
 
 	var scale harness.Scale
@@ -114,6 +117,12 @@ func main() {
 	}
 	if *simulated {
 		fmt.Printf("fig8: simulated substrate — seed %d, %v per-hop latency, virtual time\n", *simSeed, *simLat)
+		if *async {
+			// The simulated substrate pins blocking checkpoints so the
+			// seeded event schedule stays deterministic (see Launch).
+			fmt.Println("fig8: -sim forces synchronous checkpoints; ignoring -async")
+			*async = false
+		}
 		if *verdicts {
 			// Under virtual time the wall clock measures the simulator's
 			// event loop, not the paper's runtime overheads; only checksum
@@ -143,14 +152,19 @@ func main() {
 		}
 	}
 
+	if *async {
+		fmt.Println("fig8: async pipeline — ranks overlap checkpoint flushes with compute (not the paper's figure; see README)")
+	}
+
 	failed := false
 	for _, e := range exps {
 		e.Repeats = *repeats
+		e.Async = *async
 		var table *harness.Table
 		var err error
 		switch {
 		case *distributed:
-			table, err = e.RunContextWith(ctx, distributedRunner(exe, e.App, *ranks))
+			table, err = e.RunContextWith(ctx, distributedRunner(exe, e.App, *ranks, *async))
 		case *simulated:
 			table, err = e.RunContextWith(ctx, simRunner(*ranks, *simSeed, *simLat))
 		default:
@@ -186,9 +200,9 @@ func main() {
 // store under a scratch directory the launcher cleans up. The checksum is
 // rank 0's result line, so ChecksumsAgree still proves the four versions
 // chart the same computation.
-func distributedRunner(exe, app string, ranks int) harness.CellRunner {
+func distributedRunner(exe, app string, ranks int, async bool) harness.CellRunner {
 	return func(ctx context.Context, size harness.Size, mode protocol.Mode) (harness.Cell, error) {
-		args := cellArgs(app, ranks, size, mode)
+		args := cellArgs(app, ranks, size, mode, async)
 		start := time.Now()
 		res, err := launch.RunContext(ctx, launch.Config{
 			Exe:   exe,
@@ -253,8 +267,8 @@ func simRunner(ranks int, seed int64, latency time.Duration) harness.CellRunner 
 }
 
 // cellArgs renders one cell's parameters as the -w* worker flags.
-func cellArgs(app string, ranks int, size harness.Size, mode protocol.Mode) []string {
-	return []string{
+func cellArgs(app string, ranks int, size harness.Size, mode protocol.Mode, async bool) []string {
+	args := []string{
 		"-wapp", app,
 		"-wranks", strconv.Itoa(ranks),
 		"-wsize", strconv.Itoa(size.Arg),
@@ -262,12 +276,16 @@ func cellArgs(app string, ranks int, size harness.Size, mode protocol.Mode) []st
 		"-wevery", strconv.Itoa(size.EveryN),
 		"-wmode", mode.String(),
 	}
+	if async {
+		args = append(args, "-wasync")
+	}
+	return args
 }
 
 // workerMain is the re-exec'd worker role of a -distributed sweep: rebuild
 // the cell's program from the -w* flags and hand it to the launch worker
 // protocol. Never returns.
-func workerMain(app string, ranks, size, iters, every int, modeName string) {
+func workerMain(app string, ranks, size, iters, every int, modeName string, async bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "fig8 worker: %v\n", err)
 		os.Exit(1)
@@ -284,8 +302,9 @@ func workerMain(app string, ranks, size, iters, every int, modeName string) {
 		Prog:   prog,
 		EveryN: every,
 		Mode:   mode,
-		// The sweep measures the paper's blocking checkpoint semantics,
+		// The sweep measures the paper's blocking checkpoint semantics
+		// unless -async flips the cell onto the governed pipeline,
 		// exactly like the in-process harness (see Experiment.runOnce).
-		SyncCheckpoint: true,
+		SyncCheckpoint: !async,
 	})
 }

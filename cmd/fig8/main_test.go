@@ -24,10 +24,11 @@ func TestMain(m *testing.M) {
 		witers := fs.Int("witers", 0, "")
 		wevery := fs.Int("wevery", 0, "")
 		wmode := fs.String("wmode", "", "")
+		wasync := fs.Bool("wasync", false, "")
 		if err := fs.Parse(os.Args[1:]); err != nil {
 			os.Exit(2)
 		}
-		workerMain(*wapp, *wranks, *wsize, *witers, *wevery, *wmode) // never returns
+		workerMain(*wapp, *wranks, *wsize, *witers, *wevery, *wmode, *wasync) // never returns
 	}
 	os.Exit(m.Run())
 }
@@ -46,7 +47,7 @@ func TestDistributedCellStats(t *testing.T) {
 	e := harness.LaplaceExperiment(ranks, harness.Smoke)
 	size := e.Sizes[0]
 
-	cell, err := distributedRunner(exe, "laplace", ranks)(context.Background(), size, protocol.Full)
+	cell, err := distributedRunner(exe, "laplace", ranks, false)(context.Background(), size, protocol.Full)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestDistributedSweepPerRankMessages(t *testing.T) {
 	res, err := launch.RunContext(context.Background(), launch.Config{
 		Exe:   exe,
 		Ranks: ranks,
-		Args:  cellArgs("laplace", ranks, size, protocol.Full),
+		Args:  cellArgs("laplace", ranks, size, protocol.Full, false),
 	})
 	if err != nil {
 		t.Fatal(err)

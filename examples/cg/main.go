@@ -125,6 +125,10 @@ func cgProgram(n, iters int) ccift.Program {
 			for i := range *dir {
 				(*dir)[i] = (*res)[i] + beta*(*dir)[i]
 			}
+			// Write intent for the (default) incremental freeze: the
+			// iteration rewrote these vectors; a is read-only and rs/it are
+			// scalars, which never need a Touch.
+			r.Touch("x", "res", "dir")
 		}
 		norm := ccift.Allreduce(r, []float64{dot(*x, *x)}, ccift.SumF64)[0]
 		return fmt.Sprintf("‖x‖=%.9f residual=%.3g", math.Sqrt(norm), math.Sqrt(*rs)), nil

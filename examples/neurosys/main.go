@@ -134,6 +134,10 @@ func neurosysProgram(k, iters int) ccift.Program {
 			for i := range vs {
 				vs[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
 			}
+			// Write intent for the (default) incremental freeze: only the
+			// membrane block changes per step; drive is read-only after
+			// initialization and it is a scalar.
+			r.Touch("v")
 			_ = r.AllgatherF64(vs) // network state published for monitoring
 			if *it%50 == 0 {
 				r.GatherF64(0, vs) // periodic observation at the root

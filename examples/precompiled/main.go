@@ -88,6 +88,7 @@ ccift_c1:
 		}
 		r.SendF64(next, 1, []float64{acc})
 		in = r.RecvF64(prev, 1)
+		r.Touch("worker.in") // precompiler-emitted write intent: Recv rebound the slice
 		acc = acc*0.75 + in[0]*0.25
 		r.PS().Push(1)
 		r.PotentialCheckpoint()

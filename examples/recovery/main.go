@@ -43,10 +43,12 @@ func main() {
 				// the surviving global state depends on.
 				v := r.Random()
 				*trace = append(*trace, v)
+				r.Touch("trace") // write intent for the incremental freeze
 				ccift.Send(r, 1, 1, []float64{v})
 			} else if r.Rank() == 1 {
 				in := ccift.Recv[float64](r, 0, 1)
 				*trace = append(*trace, in[0])
+				r.Touch("trace")
 			} else {
 				r.Barrier() // other ranks synchronize each round
 				continue

@@ -335,6 +335,13 @@ func writeFloat64sTo(w io.Writer, xs []float64) error {
 	if _, err := w.Write(lenb[:n]); err != nil {
 		return err
 	}
+	return writeFloat64sRawTo(w, xs)
+}
+
+// writeFloat64sRawTo streams the little-endian payload without a length
+// prefix — the per-page form: a paged frozen entry writes one prefix for
+// the whole slice and then each page's payload through this.
+func writeFloat64sRawTo(w io.Writer, xs []float64) error {
 	var chunk [8 * floatChunk]byte
 	for off := 0; off < len(xs); {
 		n := len(xs) - off

@@ -66,8 +66,12 @@ type bufPool struct {
 }
 
 // poolKeep bounds retained slabs per type; beyond it a released buffer is
-// simply dropped for the GC.
-const poolKeep = 16
+// simply dropped for the GC. Page-granular freezing recycles one slab per
+// dirty 64KB page rather than one per variable, so the bound is sized for
+// a 16MB grid's worth of pages (256) — the retained set is still capped by
+// the live state's own size, since a slab is only pooled when no frozen
+// view references it.
+const poolKeep = 256
 
 func (p *bufPool) getF64(n int) []float64 {
 	p.mu.Lock()
@@ -183,10 +187,11 @@ type Frozen struct {
 type frozenEntry struct {
 	name string
 	kind entryKind
-	// Exactly one of enc/ptr holds the value: enc is a pre-encoded record
-	// (gob fallback, computed fingerprint), ptr an owned deep copy of a
-	// fast-path value, encoded lazily at write time. Both nil is the
-	// zero-length replicated marker of a non-primary rank.
+	// Exactly one of enc/ptr/pages holds the value: enc is a pre-encoded
+	// record (gob fallback, computed fingerprint), ptr an owned deep copy
+	// of a fast-path value (encoded lazily at write time), pages the
+	// page-granular capture of a large slice. All nil is the zero-length
+	// replicated marker of a non-primary rank.
 	enc  []byte
 	ptr  any
 	size int // encoded value size (the writeBytes payload length)
@@ -195,6 +200,49 @@ type frozenEntry struct {
 	// non-pooled copies, which the GC manages).
 	gen  uint64
 	slab *slab
+	// pages is the page-granular form of a large *[]float64 / *[]byte
+	// value: fixed pageBytes pages (the last one short), each owning its
+	// refcounted slab, so an incremental Freeze shares clean pages across
+	// epochs exactly as heap blocks are shared. elems is the value's
+	// element count (floats or bytes); concatenating the page views in
+	// order yields the identical payload a whole-value capture encodes.
+	pages []frozenPage
+	elems int
+}
+
+// frozenPage is one page of a page-granular frozenEntry. Exactly one of
+// f64/byt is non-nil: the page's view into its slab's buffer.
+type frozenPage struct {
+	gen  uint64
+	slab *slab
+	f64  []float64
+	byt  []byte
+}
+
+// retainSlabs takes one reference on every pooled slab behind the entry
+// (the whole-value slab or each page's), for a holder that will outlive
+// the Frozen the entry was captured into.
+func (fe *frozenEntry) retainSlabs() {
+	if fe.slab != nil {
+		fe.slab.retain()
+	}
+	for i := range fe.pages {
+		if sl := fe.pages[i].slab; sl != nil {
+			sl.retain()
+		}
+	}
+}
+
+// releaseSlabs drops one reference on every pooled slab behind the entry.
+func (fe *frozenEntry) releaseSlabs(pool *bufPool) {
+	if fe.slab != nil {
+		fe.slab.release(pool)
+	}
+	for i := range fe.pages {
+		if sl := fe.pages[i].slab; sl != nil {
+			sl.release(pool)
+		}
+	}
 }
 
 type frozenHeap struct {
@@ -250,9 +298,7 @@ func (s *Saver) retainFrozen(f *Frozen) {
 	s.dropRetained()
 	s.lastVDS = make(map[string]frozenEntry, len(f.vds))
 	for _, fe := range f.vds {
-		if fe.slab != nil {
-			fe.slab.retain()
-		}
+		fe.retainSlabs()
 		s.lastVDS[fe.name] = fe
 	}
 	s.lastHeap = make(map[int]frozenBlock, len(f.heap.blocks))
@@ -269,9 +315,7 @@ func (s *Saver) retainFrozen(f *Frozen) {
 // restored live state shares no history with any previous freeze).
 func (s *Saver) dropRetained() {
 	for _, fe := range s.lastVDS {
-		if fe.slab != nil {
-			fe.slab.release(&s.pool)
-		}
+		fe.releaseSlabs(&s.pool)
 	}
 	for _, fb := range s.lastHeap {
 		if fb.slab != nil {
@@ -293,10 +337,8 @@ func (f *Frozen) Release() {
 	}
 	f.released = true
 	for i := range f.vds {
-		if sl := f.vds[i].slab; sl != nil {
-			sl.release(f.pool)
-		}
-		f.vds[i].ptr, f.vds[i].enc, f.vds[i].slab = nil, nil, nil
+		f.vds[i].releaseSlabs(f.pool)
+		f.vds[i].ptr, f.vds[i].enc, f.vds[i].slab, f.vds[i].pages = nil, nil, nil, nil
 	}
 	for i := range f.heap.blocks {
 		if sl := f.heap.blocks[i].slab; sl != nil {
@@ -320,19 +362,36 @@ func scalarPtr(ptr any) bool {
 
 // freeze captures the VDS section into f. With a non-nil prev map
 // (incremental mode), a non-scalar entry whose write-clock stamp matches
-// the previous epoch's capture is re-referenced instead of copied.
+// the previous epoch's capture is re-referenced instead of copied; a large
+// pageable entry that misses that fast path is captured page by page, each
+// page shared with the previous epoch when its own stamp matches.
 func (v *VDS) freeze(pool *bufPool, prev map[string]frozenEntry, f *Frozen) ([]frozenEntry, error) {
 	out := make([]frozenEntry, 0, len(v.entries))
-	for _, e := range v.entries {
-		f.regions++
+	for i := range v.entries {
+		e := &v.entries[i]
+		paged, elems, perPage, isF64 := pageGeometry(e.kind, v.Primary, e.ptr)
+		numPages := 0
+		if paged {
+			numPages = (elems + perPage - 1) / perPage
+			f.regions += numPages
+		} else {
+			f.regions++
+		}
+		var pe *frozenEntry
 		if prev != nil && !scalarPtr(e.ptr) {
-			if pe, ok := prev[e.name]; ok && pe.gen == e.gen && pe.kind == e.kind {
-				if pe.slab != nil {
-					pe.slab.retain()
+			if p, ok := prev[e.name]; ok && p.kind == e.kind {
+				if p.gen == e.gen {
+					p.retainSlabs()
+					out = append(out, p)
+					continue
 				}
-				out = append(out, pe)
-				continue
+				pe = &p
 			}
+		}
+		if paged {
+			fe := capturePaged(e, pe, elems, perPage, numPages, isF64, pool, f)
+			out = append(out, fe)
+			continue
 		}
 		fe := frozenEntry{name: e.name, kind: e.kind, gen: e.gen}
 		switch e.kind {
@@ -361,6 +420,59 @@ func (v *VDS) freeze(pool *bufPool, prev map[string]frozenEntry, f *Frozen) ([]f
 		out = append(out, fe)
 	}
 	return out, nil
+}
+
+// capturePaged freezes a large slice value as pageBytes pages. A page
+// whose write-clock stamp matches the previous epoch's capture of the
+// same page (same element count, so identical page geometry) re-references
+// that capture's slab; every other page is copied into a fresh slab. prev
+// is nil on a full freeze — then every page copies.
+func capturePaged(e *vdsEntry, prev *frozenEntry, elems, perPage, numPages int, isF64 bool, pool *bufPool, f *Frozen) frozenEntry {
+	fe := frozenEntry{name: e.name, kind: e.kind, gen: e.gen, elems: elems}
+	if isF64 {
+		fe.size = 1 + uvarintLen(uint64(elems)) + 8*elems
+	} else {
+		fe.size = 1 + uvarintLen(uint64(elems)) + elems
+	}
+	gens := e.pageGens(elems, numPages)
+	// Page sharing needs the previous capture to have the identical page
+	// geometry AND payload type; a resize or type rebind bumps the entry
+	// gen anyway, but the shape check keeps the index math honest.
+	sharable := prev != nil && prev.pages != nil && prev.elems == elems &&
+		len(prev.pages) == numPages && (prev.pages[0].f64 != nil) == isF64
+	fe.pages = make([]frozenPage, numPages)
+	for p := 0; p < numPages; p++ {
+		lo := p * perPage
+		hi := lo + perPage
+		if hi > elems {
+			hi = elems
+		}
+		if sharable && prev.pages[p].gen == gens[p] {
+			pg := prev.pages[p]
+			if pg.slab != nil {
+				pg.slab.retain()
+			}
+			fe.pages[p] = pg
+			continue
+		}
+		pg := frozenPage{gen: gens[p]}
+		if isF64 {
+			src := (*e.ptr.(*[]float64))[lo:hi]
+			pg.slab = newF64Slab(pool, len(src))
+			copy(pg.slab.f64, src)
+			pg.f64 = pg.slab.f64
+			f.copied += int64(8 * len(src))
+		} else {
+			src := (*e.ptr.(*[]byte))[lo:hi]
+			pg.slab = newByteSlab(pool, len(src))
+			copy(pg.slab.byt, src)
+			pg.byt = pg.slab.byt
+			f.copied += int64(len(src))
+		}
+		fe.pages[p] = pg
+		f.dirty++
+	}
+	return fe
 }
 
 func (fe *frozenEntry) captureValue(ptr any, name string, pool *bufPool) error {
@@ -628,6 +740,32 @@ func (e *frozenEntry) writeValue(w SectionWriter, scratch *bytes.Buffer) error {
 	if e.enc != nil {
 		scratch.Write(e.enc)
 		return flushScratch(w, scratch)
+	}
+	if e.pages != nil {
+		// Page-granular capture: tag + element count, then the raw page
+		// payloads in order — byte-identical to encoding the whole slice,
+		// so storage, dedup and restore never see the page structure.
+		if e.pages[0].f64 != nil {
+			scratch.WriteByte(tagFloat64Slice)
+		} else {
+			scratch.WriteByte(tagBytes)
+		}
+		writeUvarint(scratch, uint64(e.elems))
+		if err := flushScratch(w, scratch); err != nil {
+			return err
+		}
+		for i := range e.pages {
+			if pg := &e.pages[i]; pg.f64 != nil {
+				if err := writeFloat64sRawTo(w, pg.f64); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.Write(pg.byt); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
 	if e.ptr == nil {
 		return nil // replicated marker: zero bytes

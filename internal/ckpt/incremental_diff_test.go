@@ -85,12 +85,20 @@ func (d *diffDriver) newSlice(n int) []float64 {
 }
 
 // sliceLen picks a value length: usually small, sometimes past the
-// serializer's cut-over so large-value chunk isolation is exercised.
+// serializer's cut-over so large-value chunk isolation is exercised, and
+// sometimes past the page-split threshold so the page-granular freeze
+// path (including exact page-boundary geometries) is exercised.
 func (d *diffDriver) sliceLen() int {
-	if d.rng.Intn(10) == 0 {
+	switch d.rng.Intn(12) {
+	case 0:
 		return 600 + d.rng.Intn(700) // 4.8KB-10.4KB of floats: > cutover
+	case 1:
+		return 8192 + 1 + d.rng.Intn(20000) // paged: 2-4 pages of floats
+	case 2:
+		return 8192 * (1 + d.rng.Intn(3)) // exactly on a page boundary
+	default:
+		return d.rng.Intn(200)
 	}
-	return d.rng.Intn(200)
 }
 
 func (d *diffDriver) register() {
@@ -180,6 +188,57 @@ func (d *diffDriver) touch(name string) {
 	}
 }
 
+// touchRange records ranged write intent on the incremental saver only;
+// for paged values this is the page-granular contract under test.
+func (d *diffDriver) touchRange(name string, off, n int) {
+	if err := d.inc.VDS.TouchRange(name, off, n); err != nil {
+		d.fatalf("touch range %q [%d,+%d): %v", name, off, n, err)
+	}
+}
+
+// rangeWriteF64 mutates a contiguous element range of xs and records it
+// with TouchRange. Span shapes deliberately include page-boundary
+// straddles and sub-page slivers.
+func (d *diffDriver) rangeWriteF64(name string, xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	var off, n int
+	switch d.rng.Intn(4) {
+	case 0: // sub-page sliver anywhere
+		off = d.rng.Intn(len(xs))
+		n = 1 + d.rng.Intn(32)
+	case 1: // straddle a page boundary when one exists
+		if len(xs) > 8192 {
+			b := 8192 * (1 + d.rng.Intn(len(xs)/8192))
+			off = b - 8 - d.rng.Intn(16)
+			n = 16 + d.rng.Intn(32)
+		} else {
+			off, n = 0, len(xs)
+		}
+	case 2: // exactly the tail page (possibly short)
+		off = (len(xs) / 8192) * 8192
+		n = len(xs) - off
+		if n == 0 {
+			off, n = 0, len(xs)
+		}
+	default: // a broad span over several pages
+		off = d.rng.Intn(len(xs))
+		n = 1 + d.rng.Intn(len(xs)-off)
+	}
+	lo, hi := off, off+n
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(xs) {
+		hi = len(xs)
+	}
+	for k := lo; k < hi; k++ {
+		xs[k] = d.rng.NormFloat64()
+	}
+	d.touchRange(name, off, n)
+}
+
 func (d *diffDriver) mutate() {
 	if len(d.vars) == 0 {
 		return
@@ -196,6 +255,16 @@ func (d *diffDriver) mutate() {
 	case *string:
 		*p = fmt.Sprintf("s-%d", d.rng.Int63())
 	case *[]byte:
+		if len(*p) > (64<<10) && d.rng.Intn(2) == 0 {
+			// Paged bytes: ranged write intent on a byte range.
+			off := d.rng.Intn(len(*p))
+			n := 1 + d.rng.Intn(len(*p)-off)
+			for k := off; k < off+n; k++ {
+				(*p)[k] ^= 0xA5
+			}
+			d.touchRange(v.name, off, n)
+			return
+		}
 		if len(*p) > 0 && d.rng.Intn(3) > 0 {
 			(*p)[d.rng.Intn(len(*p))] ^= 0xA5
 		} else if d.rng.Intn(2) == 0 {
@@ -228,21 +297,30 @@ func (d *diffDriver) mutate() {
 		}
 		d.touch(v.name)
 	case *[]float64:
-		switch d.rng.Intn(4) {
+		switch d.rng.Intn(6) {
 		case 0:
 			*p = append(*p, d.rng.NormFloat64())
+			d.touch(v.name) // resize: page record must be rebuilt
 		case 1:
 			if len(*p) > 0 {
 				*p = (*p)[:len(*p)-1]
 			}
+			d.touch(v.name)
 		case 2:
-			*p = d.newSlice(d.sliceLen()) // whole-buffer swap, as apps do
+			// Whole-buffer swap, as apps do; sliceLen may carry the value
+			// across the paging threshold in either direction.
+			*p = d.newSlice(d.sliceLen())
+			d.touch(v.name)
+		case 3, 4:
+			// Ranged write intent — on sub-threshold values TouchRange
+			// degrades to Touch, so this also covers the degradation path.
+			d.rangeWriteF64(v.name, *p)
 		default:
 			if len(*p) > 0 {
 				(*p)[d.rng.Intn(len(*p))] = d.rng.NormFloat64()
 			}
+			d.touch(v.name)
 		}
-		d.touch(v.name)
 	}
 }
 

@@ -49,6 +49,61 @@ type vdsEntry struct {
 	// gen is the write clock's value at the entry's last registration or
 	// Touch; an incremental Freeze treats a matching gen as "clean".
 	gen uint64
+	// pages, when non-nil, is a per-page write clock inside a large
+	// pageable value (*[]float64 / *[]byte split into pageBytes pages):
+	// TouchRange stamps only the covered pages, so an incremental Freeze
+	// re-copies those pages and re-references the rest from the previous
+	// epoch. nil means no sub-entry information — every page is as dirty
+	// as gen. pagedLen is the element count the vector was built for; a
+	// length change invalidates it (TouchRange rebuilds).
+	pages    []uint64
+	pagedLen int
+}
+
+// Page granularity of sub-entry dirty tracking. Values whose payload
+// exceeds pageSplitBytes are frozen as fixed pageBytes pages, each with
+// its own write-clock stamp, so touching one corner of a 16MB grid
+// re-copies 64KB instead of 16MB. Both sizes are in bytes of payload
+// (8 bytes per float64 element).
+const (
+	pageBytes      = 64 << 10
+	pageSplitBytes = 64 << 10
+)
+
+// pageGeometry reports whether a live entry's value is captured paged,
+// and if so its element count, elements per page, and whether elements
+// are float64s (true) or bytes (false).
+func pageGeometry(kind entryKind, primary bool, ptr any) (paged bool, elems, perPage int, isF64 bool) {
+	if kind == kindComputed || (kind == kindReplicated && !primary) {
+		return false, 0, 0, false
+	}
+	switch p := ptr.(type) {
+	case *[]float64:
+		if 8*len(*p) > pageSplitBytes {
+			return true, len(*p), pageBytes / 8, true
+		}
+	case *[]byte:
+		if len(*p) > pageSplitBytes {
+			return true, len(*p), pageBytes, false
+		}
+	}
+	return false, 0, 0, false
+}
+
+// pageGens returns the per-page write-clock stamps for an entry frozen as
+// numPages pages: the tracked vector when its geometry is current, or every
+// page at the entry's own gen when there is no (valid) sub-entry record —
+// Touch, registration and resize all wipe page information, which is the
+// conservative direction (a page can only be treated as MORE dirty).
+func (e *vdsEntry) pageGens(elems, numPages int) []uint64 {
+	if e.pages != nil && e.pagedLen == elems && len(e.pages) == numPages {
+		return e.pages
+	}
+	gens := make([]uint64, numPages)
+	for i := range gens {
+		gens[i] = e.gen
+	}
+	return gens
 }
 
 type restoreRec struct {
@@ -116,7 +171,59 @@ func (v *VDS) Touch(name string) error {
 		return fmt.Errorf("ckpt: VDS.Touch(%q): no live variable registered under that name", name)
 	}
 	v.muts++
-	v.entries[i].gen = v.muts
+	e := &v.entries[i]
+	e.gen = v.muts
+	// Whole-entry write intent supersedes any per-page record: every page
+	// is now as dirty as gen, which is what a nil vector means.
+	e.pages, e.pagedLen = nil, 0
+	return nil
+}
+
+// TouchRange records write intent on elements [off, off+n) of a large
+// registered slice: the next incremental Freeze re-copies only the pages
+// (pageBytes of payload each) the range covers and re-references the rest
+// from the previous epoch's frozen copy. Units are elements — float64s
+// for a *[]float64 registration, bytes for *[]byte. For any other type,
+// for values at or below the paging threshold, and for a range that does
+// not intersect the value, TouchRange degrades to a full Touch, so
+// calling it is never less safe than Touch. Resizing the value (or
+// re-registering it) drops the page record; touch the affected range
+// again after the resize.
+func (v *VDS) TouchRange(name string, off, n int) error {
+	i, ok := v.index[name]
+	if !ok {
+		return fmt.Errorf("ckpt: VDS.TouchRange(%q): no live variable registered under that name", name)
+	}
+	e := &v.entries[i]
+	paged, elems, perPage, _ := pageGeometry(e.kind, true, e.ptr)
+	lo, hi := off, off+n
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > elems {
+		hi = elems
+	}
+	if !paged || lo >= hi {
+		return v.Touch(name)
+	}
+	numPages := (elems + perPage - 1) / perPage
+	if e.pages == nil || e.pagedLen != elems || len(e.pages) != numPages {
+		// (Re)build the page vector with every page at the entry's current
+		// gen: exactly as dirty as the entry-level clock says, no cleaner.
+		gens := make([]uint64, numPages)
+		for j := range gens {
+			gens[j] = e.gen
+		}
+		e.pages, e.pagedLen = gens, elems
+	}
+	v.muts++
+	// The entry-level gen advances too: an incremental Freeze first
+	// compares entry gens, and a stale match there would skip the dirty
+	// pages entirely.
+	e.gen = v.muts
+	for p := lo / perPage; p <= (hi-1)/perPage; p++ {
+		e.pages[p] = v.muts
+	}
 	return nil
 }
 

@@ -57,6 +57,7 @@ func TestIncrementalCheckpointDedup(t *testing.T) {
 			for j := 0; j < len(grid)/20; j++ {
 				grid[(start+j)%len(grid)]++
 			}
+			r.TouchRange("grid", start, len(grid)/20)
 			r.PotentialCheckpoint()
 		}
 		return nil, nil

@@ -7,6 +7,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,14 +85,32 @@ type Config struct {
 	// state writer (bytes); 0 selects storage.DefaultChunkSize. Unchanged
 	// chunks are re-referenced instead of re-written across epochs.
 	ChunkSize int
-	// IncrementalFreeze enables dirty-region tracking: a checkpoint's
-	// blocking freeze copies only regions the program touched since the
-	// previous epoch (Rank.Touch / Heap.Touch write intent; registration,
-	// resize and unregister dirty implicitly) and re-references the prior
-	// frozen slabs for clean ones. The program MUST honor the Touch
-	// contract for every registered non-scalar value it mutates — an
-	// untracked write recovers stale. Off by default.
-	IncrementalFreeze bool
+	// FullFreeze disables dirty-region (incremental) checkpointing and
+	// re-copies the whole registered state at every freeze. The default
+	// (false) is the incremental path: a checkpoint's blocking freeze
+	// copies only regions the program touched since the previous epoch
+	// (Rank.Touch / Rank.TouchRange / Heap.Touch write intent;
+	// registration, resize and unregister dirty implicitly) and
+	// re-references the prior frozen slabs for clean ones. Programs MUST
+	// honor the Touch contract for every registered non-scalar value they
+	// mutate — an untracked write recovers stale; set FullFreeze (or run
+	// FreezeCrossCheck once) when auditing a program that may not.
+	FullFreeze bool
+	// FreezeCrossCheck verifies every frozen view byte-for-byte against a
+	// fresh encode of the live state, turning a missed Touch into an
+	// immediate ErrProgram naming the variable. Debug mode: costs a full
+	// encode per checkpoint.
+	FreezeCrossCheck bool
+	// FlushBandwidth caps checkpoint write streaming at this many bytes
+	// per second on both the sync and async paths; 0 = no fixed cap.
+	FlushBandwidth float64
+	// NoFlushGovernor disables the adaptive flush governor that throttles
+	// the async flusher when the rank's compute throughput drops more
+	// than the target fraction below its flush-free baseline.
+	NoFlushGovernor bool
+	// ChunkPipeline selects the chunked state writer's pipeline depth
+	// (0 = default depth, negative = serial writer).
+	ChunkPipeline int
 	// StatsSink, when non-nil, receives live per-rank counter snapshots as
 	// the run progresses (each completed checkpoint and each rank's
 	// finish), tagged with rank and incarnation. Called concurrently from
@@ -239,6 +258,13 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 	}
 	if cfg.MaxRestarts == 0 {
 		cfg.MaxRestarts = 10
+	}
+	// CCIFT_FREEZE_CROSSCHECK=1 force-enables the freeze verifier on every
+	// incremental run in the process — CI's race job soaks the whole suite
+	// under it, so any test program that mutates registered state without
+	// Touch fails loudly there instead of recovering stale in production.
+	if !cfg.FullFreeze && os.Getenv("CCIFT_FREEZE_CROSSCHECK") == "1" {
+		cfg.FreezeCrossCheck = true
 	}
 	cs := storage.NewCheckpointStore(cfg.Store)
 	res := &Result{}
@@ -447,7 +473,11 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 				Ctx:               ctx,
 				AsyncFlush:        !cfg.SyncCheckpoint,
 				ChunkSize:         cfg.ChunkSize,
-				IncrementalFreeze: cfg.IncrementalFreeze,
+				IncrementalFreeze: !cfg.FullFreeze,
+				FreezeCrossCheck:  cfg.FreezeCrossCheck,
+				FlushBandwidth:    cfg.FlushBandwidth,
+				NoFlushGovernor:   cfg.NoFlushGovernor,
+				ChunkPipeline:     cfg.ChunkPipeline,
 				StatsSink:         sink,
 				Clock:             rankClk,
 			})

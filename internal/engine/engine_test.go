@@ -39,6 +39,7 @@ func ringProg(iters, width int) Program {
 			for i := range x {
 				x[i] = x[i]*0.5 + in[i]*0.5 + 1
 			}
+			r.Touch("x")
 		}
 		sum := 0.0
 		for _, v := range x {
@@ -261,6 +262,7 @@ func collectiveProg(iters int) Program {
 			acc[1] += all[(it+1)%n]
 			acc[2] += fromRoot[it%n]
 			acc[3] += 1
+			r.Touch("acc")
 		}
 		return fmt.Sprintf("%.3f/%.3f/%.3f/%.0f", acc[0], acc[1], acc[2], acc[3]), nil
 	}
@@ -416,6 +418,7 @@ func TestIsendIrecvAcrossCheckpoints(t *testing.T) {
 		for ; it < 20; it++ {
 			if !posted {
 				h = r.Irecv(prev, 1)
+				r.Touch("h") // Handle is a struct, not an exempt scalar
 				r.Isend(next, 1, mpi.F64Bytes([]float64{float64(r.Rank()*1000 + it)}))
 				posted = true
 			}
@@ -509,6 +512,7 @@ func TestHeapSurvivesRecovery(t *testing.T) {
 			r.PotentialCheckpoint()
 			blk := r.Heap().Lookup(blkID)
 			blk.Data[it%8]++
+			r.Heap().Touch(blkID)
 			r.Barrier()
 		}
 		sum := 0

@@ -225,6 +225,26 @@ func (r *Rank) Touch(names ...string) {
 	}
 }
 
+// TouchRange records write intent on a sub-range of a registered large
+// slice: elements [off, off+n) of a *[]float64 or bytes [off, off+n) of a
+// *[]byte. Values above the page threshold (64KB) are tracked in
+// page-granular form, so a stencil that updates one halo row of a 16MB
+// grid re-copies only the pages that row lands on at the next
+// checkpoint, instead of the whole grid.
+//
+// Placement rule: as with Touch, call it after the last write to the
+// range and before the next PotentialCheckpoint. Ranges are clamped to
+// the value's current length; for values at or below the page threshold
+// (or types without a page form) TouchRange degrades to a whole-value
+// Touch, so it is always safe to call. Resizing or swapping the slice
+// header still requires a full Touch — TouchRange covers element writes
+// through the existing header only.
+func (r *Rank) TouchRange(name string, off, n int) {
+	if err := r.l.Saver.VDS.TouchRange(name, off, n); err != nil {
+		panic(fmt.Sprintf("engine: Rank.TouchRange: %v", err))
+	}
+}
+
 // Unregister pops the most recently registered variable (scope exit). The
 // pop is verified against this Rank's registration depth: calling
 // Unregister without a matching Register — or when the VDS top was pushed

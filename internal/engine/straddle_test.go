@@ -33,6 +33,7 @@ func TestStraddlingHandleRecoverySweep(t *testing.T) {
 		for ; it < 20; it++ {
 			if !posted {
 				h = r.Irecv(prev, 1)
+				r.Touch("h") // write intent: Handle is a struct, not an exempt scalar
 				r.Isend(next, 1, mpi.F64Bytes([]float64{float64(r.Rank()*1000 + it)}))
 				posted = true
 			}

@@ -43,12 +43,18 @@ type WorkerConfig struct {
 	Interval time.Duration
 	// SyncCheckpoint disables the asynchronous checkpoint pipeline (see
 	// Config.SyncCheckpoint); ChunkSize sets the chunked state writer's
-	// granularity (0 = default); IncrementalFreeze enables dirty-region
-	// tracking (see Config.IncrementalFreeze — the program must honor the
-	// Touch contract).
-	SyncCheckpoint    bool
-	ChunkSize         int
-	IncrementalFreeze bool
+	// granularity (0 = default); FullFreeze opts out of the default
+	// dirty-region incremental freeze (see Config.FullFreeze — the
+	// program must honor the Touch contract when it is off);
+	// FreezeCrossCheck, FlushBandwidth, NoFlushGovernor and ChunkPipeline
+	// mirror the same Config fields.
+	SyncCheckpoint   bool
+	ChunkSize        int
+	FullFreeze       bool
+	FreezeCrossCheck bool
+	FlushBandwidth   float64
+	NoFlushGovernor  bool
+	ChunkPipeline    int
 	// KillAtOp, when non-zero, schedules this rank's death at its
 	// KillAtOp-th substrate operation. Kill performs the death; the
 	// launcher's worker installs a real self-SIGKILL (which never returns),
@@ -203,7 +209,11 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 		Ctx:               ctx,
 		AsyncFlush:        !cfg.SyncCheckpoint,
 		ChunkSize:         cfg.ChunkSize,
-		IncrementalFreeze: cfg.IncrementalFreeze,
+		IncrementalFreeze: !cfg.FullFreeze,
+		FreezeCrossCheck:  cfg.FreezeCrossCheck,
+		FlushBandwidth:    cfg.FlushBandwidth,
+		NoFlushGovernor:   cfg.NoFlushGovernor,
+		ChunkPipeline:     cfg.ChunkPipeline,
 		StatsSink:         sink,
 	})
 	// Final stats frame, registered before the Shutdown defer below so it

@@ -50,7 +50,14 @@ type Experiment struct {
 	// BandwidthMBps throttles checkpoint writes, modelling the paper's
 	// 40 MB/s local disks. Zero disables.
 	BandwidthMBps float64
-	Sizes         []Size
+	// Async measures the governed asynchronous flush pipeline instead of
+	// the paper's blocking checkpoint semantics. The default (sync) is
+	// what Figure 8 charts — see runOnce — so the published curves stay
+	// comparable to the paper; Async exists for the fig8 -async sweep
+	// that quantifies how much of the full-checkpoint bar the pipeline
+	// hides.
+	Async bool
+	Sizes []Size
 }
 
 // Cell is one measured bar.
@@ -135,13 +142,15 @@ func (e Experiment) runOnce(ctx context.Context, size Size, mode protocol.Mode) 
 		EveryN:   size.EveryN,
 		Interval: size.Interval,
 		// The Figure 8 experiments measure the paper's blocking
-		// checkpoint semantics: the rank stops until its state is
-		// durable. (The write itself shares the chunked dedup writer;
-		// the async pipeline's overlap is measured separately by
-		// BenchmarkCheckpointBlocked / BENCH_pr4.json, where blocked vs
-		// flush time is told apart — wall-clock alone would conflate
-		// the paper's overhead with flush contention.)
-		SyncCheckpoint: true,
+		// checkpoint semantics by default: the rank stops until its
+		// state is durable. (The write itself shares the chunked dedup
+		// writer; the async pipeline's overlap is measured separately
+		// by BenchmarkCheckpointBlocked / BENCH_pr4.json, where blocked
+		// vs flush time is told apart — wall-clock alone would conflate
+		// the paper's overhead with flush contention.) Async flips the
+		// sweep onto the governed pipeline for an apples-to-apples
+		// wall-clock comparison of the same cells.
+		SyncCheckpoint: !e.Async,
 	}
 	start := time.Now()
 	res, err := engine.RunContext(ctx, cfg, size.Program)

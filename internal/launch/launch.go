@@ -518,11 +518,17 @@ type WorkerApp struct {
 	Mode protocol.Mode
 	// SyncCheckpoint disables the asynchronous checkpoint pipeline;
 	// ChunkSize sets the chunked state writer's granularity (0 = default);
-	// IncrementalFreeze enables dirty-region tracking (the program must
-	// honor the Touch write-intent contract).
-	SyncCheckpoint    bool
-	ChunkSize         int
-	IncrementalFreeze bool
+	// FullFreeze opts out of the default dirty-region incremental freeze
+	// (when off, the program must honor the Touch write-intent contract);
+	// FreezeCrossCheck, FlushBandwidth, NoFlushGovernor and ChunkPipeline
+	// mirror the engine.WorkerConfig fields of the same names.
+	SyncCheckpoint   bool
+	ChunkSize        int
+	FullFreeze       bool
+	FreezeCrossCheck bool
+	FlushBandwidth   float64
+	NoFlushGovernor  bool
+	ChunkPipeline    int
 	// WrapStore, when non-nil, wraps the worker's stable store before the
 	// engine sees it. Fault-injection tests use it to fail or delay
 	// specific writes (e.g. SIGKILL mid checkpoint flush); production
@@ -612,15 +618,19 @@ func workerRun(app WorkerApp) (int, error) {
 
 	res, err := engine.RunWorker(context.Background(), engine.WorkerConfig{
 		Rank: rank, Ranks: ranks,
-		Incarnation:       incarnation,
-		Mode:              app.Mode,
-		Store:             store,
-		EveryN:            app.EveryN,
-		Interval:          app.Interval,
-		SyncCheckpoint:    app.SyncCheckpoint,
-		ChunkSize:         app.ChunkSize,
-		IncrementalFreeze: app.IncrementalFreeze,
-		KillAtOp:          killAtOp,
+		Incarnation:      incarnation,
+		Mode:             app.Mode,
+		Store:            store,
+		EveryN:           app.EveryN,
+		Interval:         app.Interval,
+		SyncCheckpoint:   app.SyncCheckpoint,
+		ChunkSize:        app.ChunkSize,
+		FullFreeze:       app.FullFreeze,
+		FreezeCrossCheck: app.FreezeCrossCheck,
+		FlushBandwidth:   app.FlushBandwidth,
+		NoFlushGovernor:  app.NoFlushGovernor,
+		ChunkPipeline:    app.ChunkPipeline,
+		KillAtOp:         killAtOp,
 		Kill: func() {
 			// A real stopping failure: no deferred cleanup, no recover, no
 			// goodbye on the sockets — the kernel reaps the process and

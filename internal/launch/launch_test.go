@@ -96,7 +96,7 @@ func TestMain(m *testing.M) {
 		case "sync":
 			app.SyncCheckpoint = true
 		case "kill-mid-flush", "kill-mid-flush-incremental":
-			app.IncrementalFreeze = variant == "kill-mid-flush-incremental"
+			app.FullFreeze = variant != "kill-mid-flush-incremental"
 			// Only the first incarnation's rank 2 is doomed: epoch numbers
 			// restart below the trigger after recovery, so an unconditional
 			// trap would kill every re-spawn at its epoch-2 flush forever.

@@ -28,6 +28,7 @@ type flushResult struct {
 	epoch          int
 	total, written int64
 	dur            time.Duration
+	throttleNs     int64 // governor sleep time during this write
 	err            error
 }
 
@@ -45,6 +46,11 @@ func (l *Layer) startFlush(p *pendingCheckpoint) {
 		l.flushWG.Add(1)
 		go l.flushLoop()
 	}
+	// The flush-free window ends here: feed its compute rate into the
+	// governor's idle baseline and open the flush-time window.
+	now := l.clk.Now()
+	l.gov.observeIdle(l.potentialCalls-l.govMarkOps, now.Sub(l.govMark))
+	l.govMark, l.govMarkOps = now, l.potentialCalls
 	l.flushPending = true
 	l.flushJobs <- p
 }
@@ -54,7 +60,8 @@ func (l *Layer) flushLoop() {
 	for p := range l.flushJobs {
 		start := l.clk.Now()
 		total, written, err := l.writeState(p)
-		l.flushOut <- flushResult{epoch: p.epoch, total: total, written: written, dur: l.clk.Since(start), err: err}
+		l.flushOut <- flushResult{epoch: p.epoch, total: total, written: written,
+			dur: l.clk.Since(start), throttleNs: l.gov.drainThrottle(), err: err}
 		// Wake ranks parked in the transport (ServiceControlUntil) so the
 		// completion is observed without waiting for unrelated traffic.
 		l.comm.World().Interrupt()
@@ -100,6 +107,13 @@ func (l *Layer) integrateFlush(r flushResult) {
 	l.Stats.CheckpointBytes += r.total
 	l.Stats.CheckpointBytesWritten += r.written
 	l.Stats.CheckpointFlushNs += r.dur.Nanoseconds()
+	l.Stats.FlushThrottleNs += r.throttleNs
+	// The flush-time window ends here: compare its compute rate against
+	// the idle baseline and let the governor adjust its cap (async only;
+	// the governor ignores the call otherwise).
+	now := l.clk.Now()
+	l.gov.observeFlush(l.potentialCalls-l.govMarkOps, now.Sub(l.govMark), r.total, r.dur)
+	l.govMark, l.govMarkOps = now, l.potentialCalls
 	l.trace(TraceCheckpoint, -1, 0, 0, int(r.total))
 	l.emitStats()
 }

@@ -94,6 +94,26 @@ type Config struct {
 	// ChunkSize is the chunk granularity of the content-hashed state
 	// writer; 0 selects storage.DefaultChunkSize.
 	ChunkSize int
+	// FlushBandwidth caps the checkpoint state writer's streaming
+	// throughput, in bytes per second, on both the synchronous and
+	// asynchronous write paths. Zero means no fixed cap. Independent of
+	// the adaptive governor, which only ever throttles further.
+	FlushBandwidth float64
+	// NoFlushGovernor disables the adaptive flush governor (see
+	// governor.go) that throttles the async flusher when the rank's
+	// compute throughput drops more than govTargetSlowdown below its
+	// flush-free baseline. The fixed FlushBandwidth cap still applies.
+	NoFlushGovernor bool
+	// ChunkPipeline selects the chunked state writer's pipeline depth:
+	// 0 picks storage.DefaultPipelineDepth, negative forces the serial
+	// writer (the simulated substrate does, for strict determinism).
+	ChunkPipeline int
+	// FreezeCrossCheck re-encodes the live state after every freeze and
+	// verifies the frozen view byte-for-byte against it, turning a
+	// missing Touch/TouchRange in the application into an immediate
+	// ErrProgram naming the stale variable instead of silently divergent
+	// recovered state. Debug mode: costs a full encode per checkpoint.
+	FreezeCrossCheck bool
 	// IncrementalFreeze enables dirty-region tracking in the state-saving
 	// runtime: a checkpoint's blocking freeze copies only regions touched
 	// since the previous epoch (see ckpt.Saver.Incremental) and
@@ -141,6 +161,10 @@ type Stats struct {
 	// async pipeline's headline number.
 	CheckpointBlockedNs int64 `json:"checkpoint_blocked_ns"`
 	CheckpointFlushNs   int64 `json:"checkpoint_flush_ns"`
+	// FlushThrottleNs is time the flush governor spent sleeping the
+	// state writer (token-bucket stalls) — the price paid to keep the
+	// rank's compute throughput within the target slowdown.
+	FlushThrottleNs int64 `json:"flush_throttle_ns"`
 	// CheckpointBytesCopied counts bytes memcopied into frozen views at
 	// capture time; with incremental freeze, clean regions re-reference
 	// the previous epoch's slabs and cost nothing, so the gap to
@@ -233,6 +257,13 @@ type Layer struct {
 
 	Stats          Stats
 	potentialCalls int64
+
+	// Flush bandwidth governor (see governor.go): gov is shared with the
+	// flusher goroutine; govMark/govMarkOps delimit the current
+	// throughput-measurement window on the rank's goroutine.
+	gov        *flushGovernor
+	govMark    time.Time
+	govMarkOps int64
 }
 
 type initiatorState struct {
@@ -267,6 +298,8 @@ func NewLayer(comm *mpi.Comm, cfg Config) *Layer {
 		l.totalSent[i] = -1
 	}
 	l.clk = clock.Or(cfg.Clock)
+	l.gov = newFlushGovernor(l.clk, cfg.FlushBandwidth, cfg.AsyncFlush && !cfg.NoFlushGovernor)
+	l.govMark = l.clk.Now()
 	if cfg.Ctx != nil {
 		l.done = cfg.Ctx.Done()
 	}
@@ -546,7 +579,9 @@ func (l *Layer) takeCheckpoint() {
 	// (Section 5.2) + the early-message IDs and epoch (Figure 4).
 	p, err := l.captureState()
 	if err != nil {
-		panic(fmt.Sprintf("protocol: snapshot state: %v", err))
+		// Panic with the error value so the engine's classifier keeps the
+		// category (a freeze cross-check failure carries ErrProgram).
+		panic(fmt.Errorf("protocol: snapshot state: %w", err))
 	}
 	l.logDone = false
 	l.stopSent = false
@@ -558,7 +593,8 @@ func (l *Layer) takeCheckpoint() {
 		// event, cancellation translation).
 		fstart := l.clk.Now()
 		total, written, err := l.writeState(p)
-		l.finishFlush(flushResult{epoch: p.epoch, total: total, written: written, dur: l.clk.Since(fstart), err: err})
+		l.finishFlush(flushResult{epoch: p.epoch, total: total, written: written,
+			dur: l.clk.Since(fstart), throttleNs: l.gov.drainThrottle(), err: err})
 	}
 	l.Stats.CheckpointsTaken++
 	l.Stats.CheckpointBlockedNs += l.clk.Since(start).Nanoseconds()

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"ccift/internal/cerr"
 	"ccift/internal/ckpt"
 	"ccift/internal/storage"
 )
@@ -74,6 +75,16 @@ func (l *Layer) captureState() (*pendingCheckpoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		if l.cfg.FreezeCrossCheck {
+			// The rank is still blocked, so the live state is exactly what
+			// the frozen view claims to be: any byte difference means a
+			// mutation escaped the Touch write-intent contract — the
+			// application's bug, reported in its category.
+			if err := l.Saver.VerifyFrozen(f); err != nil {
+				f.Release()
+				return nil, fmt.Errorf("%w: %w", cerr.ErrProgram, err)
+			}
+		}
 		p.frozen = f
 		copied, dirty, regions := f.CopyStats()
 		l.Stats.CheckpointBytesCopied += copied
@@ -104,22 +115,49 @@ func (l *Layer) writeState(p *pendingCheckpoint) (total, written int64, err erro
 	hdr.Write(gb.Bytes())
 
 	w := l.cfg.Store.StateWriter(l.cfg.Ctx, p.epoch, l.rank, l.cfg.ChunkSize)
-	if _, err := w.Write(hdr.Bytes()); err != nil {
+	if l.cfg.ChunkPipeline >= 0 {
+		// Pipelined chunking: hash/probe and Put run on workers while the
+		// serializer fills the next chunk. Chunk boundaries and the
+		// manifest are identical to the serial writer.
+		w.Pipeline(l.cfg.ChunkPipeline)
+	}
+	// Join the pipeline workers on every exit; a no-op after Commit.
+	defer w.Abort()
+	// All stream writes pass through the governor's token bucket, so a
+	// bandwidth cap (fixed or adaptive) paces the whole write — the
+	// serialization memcopies as well as the store Puts behind them.
+	gw := governedSection{w: w, gov: l.gov}
+	if _, err := gw.Write(hdr.Bytes()); err != nil {
 		return 0, 0, err
 	}
 	// Cut after the header: its size varies epoch to epoch, and the cut
 	// keeps that variation from shifting the application stream's chunk
 	// boundaries (which would defeat cross-epoch dedup).
-	if err := w.Cut(); err != nil {
+	if err := gw.Cut(); err != nil {
 		return 0, 0, err
 	}
 	if p.frozen != nil {
-		if err := p.frozen.WriteTo(w); err != nil {
+		if err := p.frozen.WriteTo(gw); err != nil {
 			return 0, 0, err
 		}
 	}
 	return w.Commit()
 }
+
+// governedSection wraps the chunked state writer with the flush
+// governor's token bucket; Cut passes through so chunk boundaries are
+// unchanged.
+type governedSection struct {
+	w   *storage.ChunkedWriter
+	gov *flushGovernor
+}
+
+func (g governedSection) Write(p []byte) (int, error) {
+	g.gov.acquire(len(p))
+	return g.w.Write(p)
+}
+
+func (g governedSection) Cut() error { return g.w.Cut() }
 
 func unmarshalState(raw []byte) (*checkpointState, error) {
 	var st checkpointState

@@ -499,7 +499,18 @@ func (c simClock) AfterFunc(d time.Duration, f func()) clock.Timer {
 
 func (c simClock) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
-	c.AfterFunc(d, func() { ch <- c.Now() })
+	// Route through Sim.Sleep (on a helper goroutine) rather than a bare
+	// timer event: the caller of After blocks receiving from ch, and only
+	// Sleep's sleeper accounting tells the scheduler that counts as
+	// quiescent. With a bare AfterFunc event, a rank sleeping here would
+	// look active forever and virtual time could never advance to fire
+	// the timer — a virtual-time deadlock (the flush governor's throttle
+	// sleeps hit exactly this).
+	dv := time.Duration(float64(d) / c.sk.rate())
+	go func() {
+		c.s.Sleep(dv)
+		ch <- c.Now()
+	}()
 	return ch
 }
 

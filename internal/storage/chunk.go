@@ -8,6 +8,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Chunked streaming storage: a large blob is stored as content-hashed
@@ -22,6 +23,11 @@ import (
 // choose one: large enough that manifest overhead is negligible, small
 // enough that a few dirty pages do not force a whole-state rewrite.
 const DefaultChunkSize = 256 << 10
+
+// DefaultPipelineDepth is the chunk pipeline depth when Pipeline is asked
+// for one: deep enough to keep the hash worker busy while a chunk fills,
+// shallow enough that the in-flight buffers stay cache-friendly.
+const DefaultPipelineDepth = 4
 
 // chunkPrefix is the shared content-addressed chunk namespace.
 const chunkPrefix = "ckpt/chunks/"
@@ -57,6 +63,8 @@ type ChunkedWriter struct {
 	total     int64 // logical blob bytes
 	written   int64 // bytes actually Put (manifest + dedup-missed chunks)
 	committed bool
+	pipeDepth int            // >0: pipeline requested, spawned on first full chunk
+	pipe      *chunkPipeline // nil until the pipeline actually spawns
 }
 
 // NewChunkedWriter returns a writer that stores chunks in s and, on
@@ -68,6 +76,163 @@ func NewChunkedWriter(ctx context.Context, s Stable, key string, chunkSize int) 
 		chunkSize = DefaultChunkSize
 	}
 	return &ChunkedWriter{s: s, ctx: ctx, key: key, chunkSize: chunkSize, buf: make([]byte, 0, chunkSize)}
+}
+
+// Pipeline switches the writer into pipelined mode: chunk N is hashed and
+// dedup-probed on a worker while chunk N+1 fills on the caller, and Put
+// runs on a second worker behind the probe — so the `Has` probe for chunk
+// N+1 overlaps the store write of chunk N. Chunk boundaries, hashes, and
+// the manifest are identical to serial mode; only wall-clock overlap
+// changes. depth bounds the chunks in flight (<= 0 selects
+// DefaultPipelineDepth). Must be called before the first Write; returns
+// the writer for chaining.
+//
+// The workers spawn lazily, on the first flush of a FULL chunk: a blob
+// smaller than one chunk never fills one, so it takes the serial path
+// with zero goroutine or channel overhead — pipelining only pays once
+// there are at least two chunks to overlap.
+func (w *ChunkedWriter) Pipeline(depth int) *ChunkedWriter {
+	if w.pipe != nil || w.pipeDepth != 0 || w.total != 0 || len(w.buf) != 0 || len(w.refs) != 0 || w.committed {
+		panic("storage: ChunkedWriter.Pipeline after first Write")
+	}
+	if depth <= 0 {
+		depth = DefaultPipelineDepth
+	}
+	w.pipeDepth = depth
+	return w
+}
+
+// startPipeline spawns the hash and put workers. Called from flush once
+// the stream has proven to be multi-chunk.
+func (w *ChunkedWriter) startPipeline() {
+	depth := w.pipeDepth
+	p := &chunkPipeline{
+		hashCh: make(chan []byte, depth),
+		putCh:  make(chan chunkPut, depth),
+		free:   make(chan []byte, depth+2),
+	}
+	// Seed the buffer free-list: one buffer per in-flight slot plus one for
+	// each worker's hands. The caller's fill buffer is w.buf itself.
+	for i := 0; i < depth+2; i++ {
+		p.free <- make([]byte, 0, w.chunkSize)
+	}
+	p.wg.Add(2)
+	go p.hashWorker(w.s, w.ctx)
+	go p.putWorker(w.s)
+	w.pipe = p
+}
+
+// chunkPipeline is the worker state behind a pipelined ChunkedWriter. The
+// caller's flush hands a filled buffer to hashCh; the hash worker hashes
+// it and probes the store, then forwards to putCh; the put worker stores
+// missing chunks and appends manifest refs. Both channels are FIFO with a
+// single consumer each, so refs accumulate in stream order. Buffers
+// recycle through free — the stores copy on Put, so a buffer is reusable
+// the moment its Put returns (the serial path relies on the same
+// property).
+type chunkPipeline struct {
+	hashCh chan []byte
+	putCh  chan chunkPut
+	free   chan []byte
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error // first error from either worker; latched, drains continue
+
+	// Owned by the put worker until wg.Wait returns.
+	refs    []ChunkRef
+	total   int64
+	written int64
+
+	closed bool // hashCh closed (Commit or Abort ran)
+}
+
+func (p *chunkPipeline) latch(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *chunkPipeline) errNow() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// hashWorker hashes each chunk and probes the store for it. On a latched
+// error it keeps draining (recycling buffers) so the producer never
+// blocks on a dead pipeline.
+func (p *chunkPipeline) hashWorker(s Stable, ctx context.Context) {
+	defer p.wg.Done()
+	defer close(p.putCh)
+	for buf := range p.hashCh {
+		if p.errNow() != nil {
+			p.free <- buf
+			continue
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				p.latch(err)
+				p.free <- buf
+				continue
+			}
+		}
+		sum := sha256.Sum256(buf)
+		ref := ChunkRef{Sum: sum, Len: int64(len(buf))}
+		ok, err := Has(s, ref.Key())
+		if err != nil {
+			p.latch(fmt.Errorf("storage: probe chunk: %w", err))
+			p.free <- buf
+			continue
+		}
+		p.putCh <- chunkPut{buf: buf, ref: ref, need: !ok}
+	}
+}
+
+type chunkPut struct {
+	buf  []byte
+	ref  ChunkRef
+	need bool
+}
+
+// putWorker stores missing chunks and builds the manifest ref list.
+func (p *chunkPipeline) putWorker(s Stable) {
+	defer p.wg.Done()
+	for j := range p.putCh {
+		if p.errNow() == nil {
+			if j.need {
+				if err := s.Put(j.ref.Key(), j.buf); err != nil {
+					p.latch(fmt.Errorf("storage: put chunk: %w", err))
+					p.free <- j.buf
+					continue
+				}
+				p.written += j.ref.Len
+			}
+			p.total += j.ref.Len
+			p.refs = append(p.refs, j.ref)
+		}
+		p.free <- j.buf
+	}
+}
+
+// join closes the intake and waits for both workers. Idempotent.
+func (p *chunkPipeline) join() {
+	if !p.closed {
+		p.closed = true
+		close(p.hashCh)
+	}
+	p.wg.Wait()
+}
+
+// Abort tears down a pipelined writer that will not be committed, joining
+// its workers. Safe to call in any state, including after Commit and on a
+// serial writer (both no-ops), so callers can simply defer it.
+func (w *ChunkedWriter) Abort() {
+	if w.pipe != nil && !w.committed {
+		w.pipe.join()
+	}
 }
 
 // Write implements io.Writer, spilling every full chunk to the store.
@@ -105,6 +270,22 @@ func (w *ChunkedWriter) flush() error {
 			return err
 		}
 	}
+	if w.pipe == nil && w.pipeDepth > 0 && len(w.buf) == w.chunkSize {
+		// First full chunk: the blob is large enough that overlap pays;
+		// spawn the workers now. Partial-chunk flushes (Cut boundaries on a
+		// sub-chunk blob) never reach here, so small blobs stay serial.
+		w.startPipeline()
+	}
+	if w.pipe != nil {
+		// Hand the filled buffer to the hash worker and take a recycled one;
+		// the send blocks only when the full pipeline depth is in flight.
+		if err := w.pipe.errNow(); err != nil {
+			return err
+		}
+		w.pipe.hashCh <- w.buf
+		w.buf = (<-w.pipe.free)[:0]
+		return nil
+	}
 	sum := sha256.Sum256(w.buf)
 	ref := ChunkRef{Sum: sum, Len: int64(len(w.buf))}
 	ok, err := Has(w.s, ref.Key())
@@ -131,8 +312,22 @@ func (w *ChunkedWriter) Commit() (total, written int64, err error) {
 	if w.committed {
 		return 0, 0, fmt.Errorf("storage: ChunkedWriter for %s committed twice", w.key)
 	}
-	if err := w.Cut(); err != nil {
-		return 0, 0, err
+	cerr := w.Cut()
+	if w.pipe != nil {
+		// Join the workers even when the final Cut failed — a left-behind
+		// worker blocked on its channel would leak.
+		w.pipe.join()
+		if err := w.pipe.errNow(); err != nil {
+			return 0, 0, err
+		}
+		// Chunks cut before the pipeline spawned accumulated serially in
+		// w.refs; the pipe's refs continue the same stream order after them.
+		w.refs = append(w.refs, w.pipe.refs...)
+		w.total += w.pipe.total
+		w.written += w.pipe.written
+	}
+	if cerr != nil {
+		return 0, 0, cerr
 	}
 	man := MarshalManifest(w.refs)
 	if err := w.s.Put(w.key, man); err != nil {

@@ -107,8 +107,11 @@ func Launch(ctx context.Context, spec *Spec, prog Program) (*Result, error) {
 		cfg.RankClock = s.RankClock
 		// Determinism requires every actor to be event-driven: the async
 		// flusher goroutine computes in wall time the scheduler cannot
-		// order, so simulation forces the synchronous checkpoint path.
+		// order, so simulation forces the synchronous checkpoint path and
+		// the serial chunk writer (the pipelined writer's workers hash in
+		// wall time too).
 		cfg.SyncCheckpoint = true
+		cfg.ChunkPipeline = -1
 		if spec.sim.SlowStore != nil {
 			st := cfg.Store
 			if st == nil {
@@ -149,15 +152,19 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 		// This process is one spawned rank: run the worker role with the
 		// same spec the launcher-side call site built, and never return.
 		launch.WorkerMain(launch.WorkerApp{
-			Prog:              prog,
-			EveryN:            cfg.EveryN,
-			Interval:          cfg.Interval,
-			Seed:              cfg.Seed,
-			Debug:             cfg.Debug,
-			Mode:              cfg.Mode,
-			SyncCheckpoint:    cfg.SyncCheckpoint,
-			ChunkSize:         cfg.ChunkSize,
-			IncrementalFreeze: cfg.IncrementalFreeze,
+			Prog:             prog,
+			EveryN:           cfg.EveryN,
+			Interval:         cfg.Interval,
+			Seed:             cfg.Seed,
+			Debug:            cfg.Debug,
+			Mode:             cfg.Mode,
+			SyncCheckpoint:   cfg.SyncCheckpoint,
+			ChunkSize:        cfg.ChunkSize,
+			FullFreeze:       cfg.FullFreeze,
+			FreezeCrossCheck: cfg.FreezeCrossCheck,
+			FlushBandwidth:   cfg.FlushBandwidth,
+			NoFlushGovernor:  cfg.NoFlushGovernor,
+			ChunkPipeline:    cfg.ChunkPipeline,
 		})
 	}
 	kills := make([]launch.KillSpec, len(cfg.Failures))

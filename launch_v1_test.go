@@ -57,6 +57,7 @@ func conformanceProg() ccift.Program {
 			}
 			norm := ccift.Allreduce(r, []float64{(*x)[0]}, ccift.SumF64)
 			(*x)[0] = norm[0] / float64(n)
+			r.Touch("x")
 		}
 		total := ccift.Allreduce(r, []float64{(*x)[0] + (*x)[confWidth-1]}, ccift.SumF64)
 		return fmt.Sprintf("%.9f", total[0]), nil

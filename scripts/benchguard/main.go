@@ -1,0 +1,172 @@
+// Command benchguard is CI's perf-regression gate for the incremental
+// checkpoint path: it compares a fresh BenchmarkCheckpointDirtyFraction
+// run against the committed BENCH_pr9.json baseline and fails (exit 1)
+// when the 10%-dirty numbers regress by more than the threshold.
+//
+//	go test -bench CheckpointDirtyFraction -run '^$' -benchtime 2x . | tee bench.txt
+//	go run ./scripts/benchguard -baseline BENCH_pr9.json -bench bench.txt
+//
+// Two checks per layout (heap-block and paged-VDS):
+//
+//   - copied-B/ckpt of the incremental variant must not exceed the
+//     baseline by more than the threshold. Copy volume is deterministic
+//     (it is the sharing math, not the machine), so any growth is a real
+//     dirty-tracking regression.
+//   - the blocked-ns ratio incremental/full from the SAME run must not
+//     exceed the baseline's ratio by more than the threshold. Comparing
+//     the ratio rather than absolute nanoseconds keeps the gate
+//     meaningful on CI runners faster or slower than the machine that
+//     recorded the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	BlockedNs float64 `json:"blocked_ns_per_ckpt"`
+	CopiedB   float64 `json:"copied_B_per_ckpt"`
+}
+
+type baseline struct {
+	DirtyFraction struct {
+		Full map[string]entry `json:"full_freeze"`
+		Incr map[string]entry `json:"incremental"`
+	} `json:"checkpoint_dirty_fraction"`
+}
+
+// pairs of (full variant, incremental variant) guarded at 10% dirty.
+var guarded = [][2]string{
+	{"full", "incr"},
+	{"full-vds", "incr-vds"},
+}
+
+const benchPrefix = "BenchmarkCheckpointDirtyFraction/state=16384KB/dirty=10%/"
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_pr9.json", "committed baseline JSON")
+	benchPath := flag.String("bench", "", "go test -bench output to check (required)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression")
+	flag.Parse()
+	if *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -bench is required")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parse %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+
+	fresh, err := parseBench(*benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pair := range guarded {
+		fullName, incrName := benchPrefix+pair[0], benchPrefix+pair[1]
+		fullFresh, ok1 := fresh[fullName]
+		incrFresh, ok2 := fresh[incrName]
+		if !ok1 || !ok2 {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: variants missing from %s (want %s and %s)\n",
+				pair[1], *benchPath, fullName, incrName)
+			failed = true
+			continue
+		}
+		fullBase, ok1 := base.DirtyFraction.Full[fullName]
+		incrBase, ok2 := base.DirtyFraction.Incr[incrName]
+		if !ok1 || !ok2 {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: variants missing from baseline %s\n", pair[1], *basePath)
+			failed = true
+			continue
+		}
+
+		// Deterministic copy volume: any growth is a tracking regression.
+		copyLimit := incrBase.CopiedB * (1 + *threshold)
+		if incrFresh.CopiedB > copyLimit {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s copied-B/ckpt = %.0f, baseline %.0f (limit %.0f): dirty tracking copies more than it used to\n",
+				pair[1], incrFresh.CopiedB, incrBase.CopiedB, copyLimit)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: ok   %s copied-B/ckpt %.0f <= %.0f\n", pair[1], incrFresh.CopiedB, copyLimit)
+		}
+
+		// Machine-normalized blocked time: incremental/full ratio.
+		baseRatio := incrBase.BlockedNs / fullBase.BlockedNs
+		freshRatio := incrFresh.BlockedNs / fullFresh.BlockedNs
+		ratioLimit := baseRatio * (1 + *threshold)
+		if freshRatio > ratioLimit {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s blocked-ns ratio vs %s = %.3f, baseline %.3f (limit %.3f): the incremental freeze blocks relatively longer than the baseline\n",
+				pair[1], pair[0], freshRatio, baseRatio, ratioLimit)
+			failed = true
+		} else {
+			fmt.Printf("benchguard: ok   %s/%s blocked-ns ratio %.3f <= %.3f\n", pair[1], pair[0], freshRatio, ratioLimit)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all dirty-fraction checks within threshold")
+}
+
+// parseBench extracts per-benchmark metrics from `go test -bench` output,
+// keeping the best (minimum) value of each metric across -count repeats.
+func parseBench(path string) (map[string]entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]entry)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkCheckpointDirtyFraction/") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		e, seen := out[name]
+		// Metrics are (value, unit) pairs after the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "blocked-ns/ckpt":
+				if !seen || v < e.BlockedNs {
+					e.BlockedNs = v
+				}
+			case "copied-B/ckpt":
+				if !seen || v < e.CopiedB {
+					e.CopiedB = v
+				}
+			}
+		}
+		out[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no BenchmarkCheckpointDirtyFraction lines in %s", path)
+	}
+	return out, nil
+}

@@ -88,19 +88,74 @@ func WithAsyncCheckpoint(enabled bool) Option {
 // across epochs. Zero selects the default (256 KiB).
 func WithChunkSize(n int) Option { return func(s *Spec) { s.cfg.ChunkSize = n } }
 
-// WithIncrementalFreeze toggles dirty-region checkpointing, which is OFF
-// by default: when enabled, the blocking freeze copies only the regions
-// (registered variables, heap blocks) the program touched since the last
-// checkpoint and re-references the previous epoch's frozen slabs for the
-// clean ones, so a mostly-clean epoch blocks for O(dirty) instead of
-// O(state). The program must honor the write-intent contract — call
-// Rank.Touch (or Heap().Touch for heap blocks) after the last write to a
-// region and before the next PotentialCheckpoint; scalar variables are
-// exempt, and registration/resize/unregister dirty implicitly. The
-// serialized checkpoint bytes are identical to a full freeze's, so chunk
-// dedup, storage and recovery are unaffected.
+// WithIncrementalFreeze toggles dirty-region checkpointing, which is ON
+// by default: the blocking freeze copies only the regions (registered
+// variables, pages of large variables, heap blocks) the program touched
+// since the last checkpoint and re-references the previous epoch's frozen
+// slabs for the clean ones, so a mostly-clean epoch blocks for O(dirty)
+// instead of O(state). Programs must honor the write-intent contract —
+// call Rank.Touch (or TouchRange for a sub-range of a large slice,
+// Heap().Touch for heap blocks) after the last write to a region and
+// before the next PotentialCheckpoint; scalar variables are exempt, and
+// registration/resize/unregister dirty implicitly. The serialized
+// checkpoint bytes are identical to a full freeze's, so chunk dedup,
+// storage and recovery are unaffected. Pass false (or use WithFullFreeze)
+// for programs that do not maintain Touch calls; WithFreezeCrossCheck
+// verifies the contract at runtime.
 func WithIncrementalFreeze(enabled bool) Option {
-	return func(s *Spec) { s.cfg.IncrementalFreeze = enabled }
+	return func(s *Spec) { s.cfg.FullFreeze = !enabled }
+}
+
+// WithFullFreeze is the escape hatch from the incremental-freeze default:
+// every checkpoint re-copies the whole registered state, and the Touch
+// write-intent contract does not apply. Equivalent to
+// WithIncrementalFreeze(false).
+func WithFullFreeze() Option {
+	return func(s *Spec) { s.cfg.FullFreeze = true }
+}
+
+// WithFreezeCrossCheck enables the freeze verifier debug mode: after
+// every freeze, while the rank is still blocked, the frozen view is
+// compared byte-for-byte against a fresh encode of the live state. A
+// mutation that escaped Touch/TouchRange — which would otherwise surface
+// as silently stale recovered state — fails the run immediately with an
+// ErrProgram-category error naming the variable (or heap block). Costs a
+// full state encode per checkpoint, so use it in tests and when
+// migrating a program to the incremental default, not in production.
+func WithFreezeCrossCheck() Option {
+	return func(s *Spec) { s.cfg.FreezeCrossCheck = true }
+}
+
+// WithFlushBandwidth caps the checkpoint writer's streaming throughput at
+// the given bytes per second, on both the synchronous and asynchronous
+// paths. Zero (the default) means no fixed cap. This is independent of
+// the adaptive flush governor, which watches the rank's compute
+// throughput and only ever throttles further; a fixed cap is chiefly
+// useful to model a slow store deterministically or to hard-bound the
+// flusher's interference.
+func WithFlushBandwidth(bytesPerSecond float64) Option {
+	return func(s *Spec) { s.cfg.FlushBandwidth = bytesPerSecond }
+}
+
+// WithFlushGovernor toggles the adaptive flush bandwidth governor, which
+// is on by default in async mode: the rank's compute-iteration rate is
+// measured with and without a flush in flight, and the flusher's write
+// stream is token-bucket throttled so the observed slowdown converges to
+// ~10%. Pass false for an ungoverned flusher (the pre-governor behavior,
+// kept for benchmarks and for runs that prefer fastest-possible
+// checkpoint durability over steady compute throughput).
+func WithFlushGovernor(enabled bool) Option {
+	return func(s *Spec) { s.cfg.NoFlushGovernor = !enabled }
+}
+
+// WithChunkPipeline sets the chunked state writer's pipeline depth: how
+// many chunks may be in flight between the serializer, the hash/dedup
+// worker, and the store writer. Zero (the default) selects the default
+// depth; negative forces the serial single-goroutine writer. Chunk
+// boundaries, hashes and manifests are identical in every mode — only
+// wall-clock overlap changes.
+func WithChunkPipeline(depth int) Option {
+	return func(s *Spec) { s.cfg.ChunkPipeline = depth }
 }
 
 // WithTracer streams protocol events from every rank (in-process substrate

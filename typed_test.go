@@ -104,6 +104,7 @@ func TestRegSurvivesRollback(t *testing.T) {
 			part := ccift.Allreduce(r, []float64{float64(r.Rank() + 1)}, ccift.SumF64)
 			*acc += part[0]
 			*hist = append(*hist, int32(*it))
+			r.Touch("hist") // append rebinds/mutates: write intent for incremental freeze
 		}
 		return fmt.Sprintf("%v/%v", *acc, *hist), nil
 	}
