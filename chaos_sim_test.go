@@ -280,37 +280,60 @@ func normalizeWritten(in []ccift.Stats) ([]ccift.Stats, int64) {
 	return out, sum
 }
 
-func TestSimulated512RankWorld(t *testing.T) {
-	// The scale bar: a 512-rank world with paper-scale 30-second heartbeat
-	// suspicion runs through the identical public Launch call in seconds of
-	// wall clock, because every timeout and every hop of latency is
-	// virtual. The wall-clock bound only means something at full speed, so
-	// -short (which CI pairs with the race detector's ~20x slowdown) skips
-	// it; the chaos-sim CI job runs it full.
+func TestSimulated1000RankWorld(t *testing.T) {
+	// The scale bar, raised from 512 ranks when localized recovery landed:
+	// a 1000-rank world with paper-scale 30-second heartbeat suspicion runs
+	// through the identical public Launch call in seconds of wall clock,
+	// because every timeout and every hop of latency is virtual — and a
+	// mid-run death of one rank costs one localized rollback (999
+	// survivors restore from their in-memory retained copies; only the
+	// dead rank's replacement reads the store), not a thousand re-reads.
+	// The wall-clock bound assumes full speed; the race detector's ~8x
+	// slowdown gets a proportionally larger budget so CI's recovery job
+	// can soak this under -race without failing on the bound.
 	if testing.Short() {
 		t.Skip("wall-clock scale bar: skipped under -short")
 	}
+	bound := 30 * time.Second
+	if raceEnabled {
+		bound = 4 * time.Minute
+	}
+	const ranks = 1000
 	seed := testseed.Base(t, 1008)
+	ref := soakRef(t, ranks, 3, 4)
 	start := time.Now()
 	res, err := ccift.Launch(context.Background(), ccift.NewSpec(
-		ccift.WithRanks(512), ccift.WithMode(ccift.Full), ccift.WithEveryN(2),
+		ccift.WithRanks(ranks), ccift.WithMode(ccift.Full), ccift.WithEveryN(2),
 		ccift.WithSimulated(ccift.Scenario{
 			Seed: seed, Latency: time.Millisecond,
 			DetectorTimeout: 30 * time.Second,
+			// At 100ms virtual, epoch 1 has committed: the rollback is a
+			// genuine checkpoint recovery, not a restart from scratch.
+			Crashes: []ccift.Crash{{Rank: 137, At: 100 * time.Millisecond}},
 		}),
 	), stencil(3, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if elapsed := time.Since(start); elapsed > 5*time.Second {
-		t.Fatalf("512-rank virtual world took %v, want < 5s", elapsed)
+	if elapsed := time.Since(start); elapsed > bound {
+		t.Fatalf("1000-rank virtual world with one death took %v, want < %v", elapsed, bound)
 	}
-	if len(res.Values) != 512 {
-		t.Fatalf("got %d values", len(res.Values))
+	if res.Restarts != 1 {
+		t.Fatalf("%d restarts, want the one scheduled crash to land exactly once", res.Restarts)
 	}
-	for r := 1; r < 512; r++ {
-		if res.Values[r] != res.Values[0] {
-			t.Fatalf("rank %d disagrees: %v vs %v", r, res.Values[r], res.Values[0])
+	if !reflect.DeepEqual(res.Values, ref) {
+		t.Fatalf("1000-rank recovered world diverged from the fault-free reference")
+	}
+	// Localized recovery at scale: every survivor rolled back from its
+	// retained in-memory checkpoint; only the dead rank's replacement
+	// touched the store for state.
+	retained := 0
+	for r := 0; r < ranks; r++ {
+		if res.Stats[r].RecoveredFromRetained > 0 {
+			retained++
 		}
+	}
+	if want := ranks - 1; retained != want {
+		t.Fatalf("%d ranks restored from retained state, want %d (all survivors)", retained, want)
 	}
 }

@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"ccift/internal/cerr"
-	"ccift/internal/ckpt"
 	"ccift/internal/clock"
 	"ccift/internal/detector"
 	"ccift/internal/mpi"
@@ -131,6 +130,12 @@ type Config struct {
 	// Clock. The detector always runs on Clock — skew between the ranks
 	// and the detector is exactly what clock-skew scenarios probe.
 	RankClock func(rank int) clock.Clock
+	// WholeWorldRestart disables localized recovery: survivors re-read
+	// their checkpoint from the store instead of their in-memory retained
+	// copy, and (on the distributed substrate) the launcher respawns the
+	// whole incarnation instead of only the dead ranks. The pre-localized
+	// behaviour, kept as a fallback and for A/B measurement.
+	WholeWorldRestart bool
 }
 
 // Result reports a completed run.
@@ -152,6 +157,25 @@ type Result struct {
 	// the shape both substrates report, so observability code written
 	// against it is substrate-independent.
 	PerRank []protocol.RankStats
+	// Incarnations reports each distributed incarnation's worker
+	// processes (empty on the in-process and simulated substrates, where
+	// ranks are goroutines). With localized recovery a surviving rank's
+	// PID is stable across entries; whole-world restart re-execs everyone.
+	Incarnations []IncarnationInfo
+}
+
+// IncarnationInfo is the per-incarnation process view of a distributed
+// run: one entry per rank.
+type IncarnationInfo struct {
+	// PIDs[r] is rank r's OS process ID during this incarnation.
+	PIDs []int
+	// Exits[r] describes how rank r's process left this incarnation
+	// ("exit status 0", "signal: killed", ...); empty while it kept
+	// running into the next incarnation (localized recovery's survivors).
+	Exits []string
+	// RecoveredEpoch is the epoch the NEXT incarnation restored from (-1
+	// for a restart from the beginning, or for the final incarnation).
+	RecoveredEpoch int
 }
 
 // ErrTooManyRestarts is returned when the failure schedule exhausts
@@ -269,6 +293,15 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 	cs := storage.NewCheckpointStore(cfg.Store)
 	res := &Result{}
 
+	// Localized recovery: each rank's layer retains an in-memory copy of
+	// its serialized checkpoint, carried here across incarnations so
+	// survivors of a failure restore without store reads. Disabled (nil)
+	// under WholeWorldRestart; entries of ranks that died are dropped.
+	var retained [][]*protocol.RetainedState
+	if !cfg.WholeWorldRestart && cfg.Mode == protocol.Full {
+		retained = make([][]*protocol.RetainedState, cfg.Ranks)
+	}
+
 	for incarnation := 0; ; incarnation++ {
 		if cause := ctx.Err(); cause != nil {
 			// Covers cancellation before the first incarnation and between
@@ -302,40 +335,21 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 			res.RecoveredEpochs = append(res.RecoveredEpochs, rec)
 		}
 
-		// Gather every receiver's early-message ID sets and build each
-		// sender's suppression list (Section 4.2: "the senders of these
-		// early messages are informed of the messageIDs so that resending
-		// these messages can be suppressed").
+		// Recovery gather, run once by the driver (Section 4.2: "the
+		// senders of these early messages are informed of the messageIDs so
+		// that resending these messages can be suppressed"): O(world) tiny
+		// sidecar reads build every sender's suppression list and the
+		// primary's replica set, and each rank is handed only its slice.
 		suppress := make([][]uint32, cfg.Ranks)
 		var replicas map[string][]byte
 		restore := incarnation > 0 && haveCkpt
 		if restore {
-			for r := 0; r < cfg.Ranks; r++ {
-				ids, err := protocol.LoadEarlyIDs(cs, epoch, r)
-				if err != nil {
-					return nil, &RunError{Rank: r, Incarnation: incarnation, Restarts: res.Restarts,
-						Err: fmt.Errorf("%w: load early IDs: %w", cerr.ErrStore, err)}
-				}
-				for sender, set := range ids {
-					suppress[sender] = append(suppress[sender], set...)
-				}
-			}
-			// Distribute the primary's replicated values (Section 7's
-			// distributed-redundant-data optimization): only rank 0's
-			// checkpoint carries them, every other rank restores from this
-			// map.
-			primaryApp, err := protocol.LoadAppState(cs, epoch, 0)
+			plan, err := protocol.GatherRecovery(cs, epoch, cfg.Ranks)
 			if err != nil {
-				return nil, &RunError{Rank: 0, Incarnation: incarnation, Restarts: res.Restarts,
-					Err: fmt.Errorf("%w: load primary app state: %w", cerr.ErrStore, err)}
+				return nil, &RunError{Rank: -1, Incarnation: incarnation, Restarts: res.Restarts,
+					Err: fmt.Errorf("%w: gather recovery plan: %w", cerr.ErrStore, err)}
 			}
-			if len(primaryApp) > 0 {
-				replicas, err = ckpt.ExtractReplicated(primaryApp)
-				if err != nil {
-					return nil, &RunError{Rank: 0, Incarnation: incarnation, Restarts: res.Restarts,
-						Err: fmt.Errorf("%w: extract replicated data: %w", cerr.ErrStore, err)}
-				}
-			}
+			suppress, replicas = plan.Suppress, plan.Replicas
 		}
 
 		world := mpi.NewWorld(cfg.Ranks, mpi.Options{
@@ -345,7 +359,7 @@ func RunContext(ctx context.Context, cfg Config, prog Program) (*Result, error) 
 			NewTransport: cfg.NewTransport,
 		})
 
-		out := runIncarnation(ctx, cfg, cs, world, prog, incarnation, epoch, restore, suppress, replicas)
+		out := runIncarnation(ctx, cfg, cs, world, prog, incarnation, epoch, restore, suppress, replicas, retained)
 		if out.canceled {
 			cause := ctx.Err()
 			if cause == nil {
@@ -386,7 +400,7 @@ type incarnationResult struct {
 
 func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore, world *mpi.World,
 	prog Program, incarnation, epoch int, restore bool, suppress [][]uint32,
-	replicas map[string][]byte) incarnationResult {
+	replicas map[string][]byte, retained [][]*protocol.RetainedState) incarnationResult {
 
 	// Cancellation: the moment ctx is done, cancel the world so every rank
 	// — blocked in the substrate or about to enter it — unwinds with
@@ -478,9 +492,25 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 				FlushBandwidth:    cfg.FlushBandwidth,
 				NoFlushGovernor:   cfg.NoFlushGovernor,
 				ChunkPipeline:     cfg.ChunkPipeline,
+				RetainForRecovery: retained != nil,
 				StatsSink:         sink,
 				Clock:             rankClk,
 			})
+			if retained != nil {
+				// Localized recovery: carry this rank's in-memory checkpoint
+				// copies to the next incarnation — unless the rank itself
+				// died, in which case its memory is considered lost and it
+				// must restore from the store like a respawned process.
+				// Registered before the Shutdown defer (LIFO) so the flusher
+				// has drained and the last flush is integrated when it runs.
+				defer func() {
+					if world.Killed(r) {
+						retained[r] = nil
+					} else {
+						retained[r] = layer.Retained()
+					}
+				}()
+			}
 			// The background flusher must not outlive this incarnation:
 			// Shutdown waits for an in-flight state write (registered after
 			// the recover defer, so it runs first on a panic unwind and a
@@ -489,7 +519,11 @@ func runIncarnation(ctx context.Context, cfg Config, cs *storage.CheckpointStore
 			defer layer.Shutdown()
 			rank := newRank(layer, cfg.Seed, incarnation)
 			if restore {
-				app, err := layer.Restore(epoch, suppress[r])
+				var ret []*protocol.RetainedState
+				if retained != nil {
+					ret = retained[r]
+				}
+				app, err := layer.RestoreFrom(epoch, suppress[r], ret)
 				if err != nil {
 					panic(fmt.Errorf("engine: rank %d restore: %w: %w", r, cerr.ErrStore, err))
 				}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"ccift/internal/cerr"
-	"ccift/internal/ckpt"
 	"ccift/internal/mpi"
 	"ccift/internal/protocol"
 	"ccift/internal/storage"
@@ -82,6 +81,20 @@ type WorkerConfig struct {
 	// marked Final, as the worker unwinds (normal completion AND rollback
 	// exit, so the launcher sees the counters of killed incarnations too).
 	StatsSink func(protocol.StatsFrame)
+	// Recovery, when non-nil, is this rank's slice of the launcher-side
+	// recovery gather: the launcher read the committed epoch's metadata
+	// once and shipped each worker its inputs, so the worker does no store
+	// scan of its own. Epoch -1 means "fresh start, do not restore". Nil
+	// falls back to the worker computing its own inputs from the store
+	// (the whole-world path, where there is no per-rank shipping).
+	Recovery *protocol.RankRecovery
+	// Retained, when non-nil, is this process's in-memory copy of its own
+	// recent checkpoints, kept across incarnations by a worker process
+	// that survived a rollback; a copy matching the recovery epoch is
+	// restored without store reads. RetainForRecovery makes the layer keep
+	// such copies for the NEXT rollback.
+	Retained          []*protocol.RetainedState
+	RetainForRecovery bool
 }
 
 // WorkerResult reports one completed (or aborted) worker incarnation.
@@ -93,6 +106,11 @@ type WorkerResult struct {
 	RecoveredEpoch int
 	// Stats are the protocol-layer statistics of this rank.
 	Stats protocol.Stats
+	// Retained carries the rank's in-memory checkpoint copies out of the
+	// incarnation (populated with RetainForRecovery set, on normal AND
+	// rollback exits) — the caller hands them back through
+	// WorkerConfig.Retained when it reruns the rank in the same process.
+	Retained []*protocol.RetainedState
 }
 
 // RunWorker executes prog as one rank-process of a distributed world. It
@@ -114,39 +132,44 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 		return res, fmt.Errorf("%w: worker requires Store, NewTransport, Start, AnnounceDone, and AllDone", cerr.ErrSpec)
 	}
 	cs := storage.NewCheckpointStore(cfg.Store)
-	epoch, haveCkpt, err := cs.Committed()
-	if err != nil {
-		return res, fmt.Errorf("%w: read commit record: %w", cerr.ErrStore, err)
-	}
-	restore := cfg.Incarnation > 0 && haveCkpt
-	if restore && cfg.Mode != protocol.Full {
-		return res, fmt.Errorf("%w: cannot recover from a checkpoint in mode %v", cerr.ErrWorldDead, cfg.Mode)
-	}
 
-	// Recovery preparation reads only the shared store, so each worker
-	// computes its own inputs without a coordinator: the suppression list
-	// is every receiver's record of early messages this rank sent
-	// (Section 4.2), and the replicated values come from the primary's
-	// checkpoint (Section 7).
+	// Recovery inputs. The localized launcher gathers the committed
+	// epoch's metadata once and ships each worker its slice (Recovery
+	// non-nil); without it — the whole-world path — each worker computes
+	// its own inputs from the store: the suppression list is every
+	// receiver's record of early messages this rank sent (Section 4.2),
+	// and the replicated values come from the primary's checkpoint
+	// (Section 7).
 	var suppress []uint32
 	var replicas map[string][]byte
-	if restore {
-		for r := 0; r < cfg.Ranks; r++ {
-			ids, err := protocol.LoadEarlyIDs(cs, epoch, r)
-			if err != nil {
-				return res, fmt.Errorf("engine: load early IDs of rank %d: %w: %w", r, cerr.ErrStore, err)
-			}
-			suppress = append(suppress, ids[cfg.Rank]...)
+	var epoch int
+	var restore bool
+	if cfg.Recovery != nil {
+		if cfg.Recovery.Epoch >= 0 {
+			restore = true
+			epoch = cfg.Recovery.Epoch
+			suppress = cfg.Recovery.Suppress
+			replicas = cfg.Recovery.Replicas
 		}
-		primaryApp, err := protocol.LoadAppState(cs, epoch, 0)
+	} else {
+		var haveCkpt bool
+		epoch, haveCkpt, err = cs.Committed()
 		if err != nil {
-			return res, fmt.Errorf("engine: load primary app state: %w: %w", cerr.ErrStore, err)
+			return res, fmt.Errorf("%w: read commit record: %w", cerr.ErrStore, err)
 		}
-		if len(primaryApp) > 0 {
-			replicas, err = ckpt.ExtractReplicated(primaryApp)
-			if err != nil {
-				return res, fmt.Errorf("engine: extract replicated data: %w: %w", cerr.ErrStore, err)
+		restore = cfg.Incarnation > 0 && haveCkpt
+		if restore {
+			plan, gerr := protocol.GatherRecovery(cs, epoch, cfg.Ranks)
+			if gerr != nil {
+				return res, fmt.Errorf("engine: gather recovery plan: %w: %w", cerr.ErrStore, gerr)
 			}
+			suppress = plan.Suppress[cfg.Rank]
+			replicas = plan.Replicas
+		}
+	}
+	if restore {
+		if cfg.Mode != protocol.Full {
+			return res, fmt.Errorf("%w: cannot recover from a checkpoint in mode %v", cerr.ErrWorldDead, cfg.Mode)
 		}
 		res.RecoveredEpoch = epoch
 	}
@@ -214,8 +237,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 		FlushBandwidth:    cfg.FlushBandwidth,
 		NoFlushGovernor:   cfg.NoFlushGovernor,
 		ChunkPipeline:     cfg.ChunkPipeline,
+		RetainForRecovery: cfg.RetainForRecovery,
 		StatsSink:         sink,
 	})
+	if cfg.RetainForRecovery {
+		// Capture the retained copies however the incarnation ends:
+		// registered before the Shutdown defer (LIFO) so the flusher has
+		// drained and the last flush is integrated, and running on panic
+		// unwinds too, so a surviving worker keeps its copies across a
+		// rollback (ErrIncarnationDead) without touching the store.
+		defer func() {
+			res.Retained = layer.Retained()
+		}()
+	}
 	// Final stats frame, registered before the Shutdown defer below so it
 	// runs AFTER the flusher drains (defers are LIFO): the snapshot then
 	// includes any checkpoint that was still flushing, and — because defers
@@ -233,7 +267,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, prog Program) (res WorkerR
 	defer layer.Shutdown()
 	rank := newRank(layer, cfg.Seed, cfg.Incarnation)
 	if restore {
-		app, err := layer.Restore(epoch, suppress)
+		app, err := layer.RestoreFrom(epoch, suppress, cfg.Retained)
 		if err != nil {
 			return res, fmt.Errorf("engine: rank %d restore: %w: %w", cfg.Rank, cerr.ErrStore, err)
 		}

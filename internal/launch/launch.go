@@ -11,6 +11,7 @@ package launch
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,15 @@ const (
 	envKillAtOp    = "CCIFT_KILL_AT_OP"  // self-SIGKILL at this substrate op (doomed rank only)
 	envDetector    = "CCIFT_DETECTOR_MS" // heartbeat suspicion timeout, milliseconds
 	envStatsFD     = "CCIFT_STATS_FD"    // fd of the stats stream pipe (write end)
+	envLocalized   = "CCIFT_LOCALIZED"   // "1": per-rank respawn; survivors rejoin the next incarnation in-process
+)
+
+// Localized-recovery marker files, written atomically (temp + rename) into
+// each incarnation's rendezvous directory.
+const (
+	goMarker       = "GO"       // recovery files for this incarnation are complete; workers may join
+	abortMarker    = "ABORT"    // this incarnation's mesh was abandoned; wait for a newer GO
+	recoveryPrefix = "recovery" // recovery.<rank>: gob rankRecoveryFile
 )
 
 // Exit codes workers report back to the launcher: cerr's shared exit-code
@@ -98,6 +108,13 @@ type Config struct {
 	// OnRestart, when non-nil, is called after each rollback-restart
 	// decision with the cumulative restart count.
 	OnRestart func(restarts int)
+	// WholeWorldRestart selects the pre-localized recovery path: any death
+	// kills and re-spawns the entire incarnation, and every worker rebuilds
+	// its own recovery inputs from the store. The default (false) is
+	// localized recovery: the launcher gathers the recovery plan once,
+	// ships each rank its slice, respawns only dead ranks, and survivors
+	// roll back in-process from their retained checkpoint copies.
+	WholeWorldRestart bool
 }
 
 // IncarnationReport describes how one incarnation ended.
@@ -105,9 +122,15 @@ type IncarnationReport struct {
 	// Exits holds each rank's exit description ("exit status 0",
 	// "signal: killed", ...). Codes holds the structured exit codes (-1
 	// when the rank died by signal); success is judged on these, never on
-	// the description strings.
+	// the description strings. Under localized recovery a surviving rank
+	// has no exit in the incarnation it survived: its Exits entry stays ""
+	// (Codes entry 0) and the process carries over to the next incarnation.
 	Exits []string
 	Codes []int
+	// PIDs holds each rank's OS process ID during the incarnation. With
+	// localized recovery survivors keep their PID across incarnations;
+	// whole-world restart re-execs everyone.
+	PIDs []int
 	// RecoveredEpoch is the committed epoch the *next* incarnation will
 	// restore from (-1 when none was committed yet).
 	RecoveredEpoch int
@@ -120,6 +143,15 @@ func (r *IncarnationReport) failed() bool {
 		}
 	}
 	return false
+}
+
+func newIncarnationReport(ranks int) IncarnationReport {
+	return IncarnationReport{
+		Exits:          make([]string, ranks),
+		Codes:          make([]int, ranks),
+		PIDs:           make([]int, ranks),
+		RecoveredEpoch: -1,
+	}
 }
 
 // Result reports a completed distributed run.
@@ -224,6 +256,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	if cfg.WholeWorldRestart {
+		return runWholeWorld(ctx, cfg, agg, observe, cleanupWork)
+	}
+	return runLocalized(ctx, cfg, agg, observe, cleanupWork)
+}
+
+// runWholeWorld is the pre-localized supervision loop: any death collapses
+// the incarnation (survivors exit with the rollback code), and the next
+// incarnation re-execs every rank.
+func runWholeWorld(ctx context.Context, cfg Config, agg *protocol.Aggregator,
+	observe func(protocol.StatsFrame), cleanupWork bool) (*Result, error) {
 	res := &Result{}
 	for incarnation := 0; ; incarnation++ {
 		if cause := ctx.Err(); cause != nil {
@@ -244,7 +287,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			// The incarnation died; read what the next one will recover
 			// from and go again.
 			epoch := committedEpoch(cfg.StoreDir)
-			report.RecoveredEpoch = epoch
+			res.Incarnations[len(res.Incarnations)-1].RecoveredEpoch = epoch
 			res.Restarts++
 			res.RecoveredEpochs = append(res.RecoveredEpochs, epoch)
 			if cfg.OnRestart != nil {
@@ -415,10 +458,10 @@ func runIncarnation(ctx context.Context, cfg Config, incarnation int,
 		})
 	}
 
-	report := &IncarnationReport{
-		Exits:          make([]string, cfg.Ranks),
-		Codes:          make([]int, cfg.Ranks),
-		RecoveredEpoch: -1,
+	rep := newIncarnationReport(cfg.Ranks)
+	report := &rep
+	for r, c := range cmds {
+		report.PIDs[r] = c.Process.Pid
 	}
 	var hardCauses []error
 	for i := 0; i < cfg.Ranks; i++ {
@@ -458,6 +501,404 @@ func runIncarnation(ctx context.Context, cfg Config, incarnation int,
 			incarnation, cat, strings.Join(report.Exits, ", "))
 	}
 	return report, rank0Out.String(), nil
+}
+
+// runLocalized supervises the world with per-rank respawn: a death costs
+// one launcher-side recovery gather (O(ranks) tiny sidecar reads), fresh
+// processes for the dead ranks only, and an in-process rollback for every
+// survivor. The handshake with surviving workers runs over marker files in
+// the rendezvous tree: ABORT in the dead incarnation's directory tells
+// stragglers to stop forming its mesh, recovery.<rank> files plus a final
+// GO marker in the next incarnation's directory carry each rank's
+// recovery slice (suppression list, replica set, kill plan).
+func runLocalized(ctx context.Context, cfg Config, agg *protocol.Aggregator,
+	observe func(protocol.StatsFrame), cleanupWork bool) (*Result, error) {
+	n := cfg.Ranks
+	rdvRoot := filepath.Join(cfg.WorkDir, "rdv")
+	res := &Result{}
+
+	var errMu sync.Mutex
+	logf := func(format string, args ...any) {
+		errMu.Lock()
+		fmt.Fprintf(cfg.Stderr, format, args...)
+		errMu.Unlock()
+	}
+	var readersWG sync.WaitGroup
+	defer readersWG.Wait()
+	var watchWG sync.WaitGroup
+	defer watchWG.Wait()
+
+	// Every spawn produces exactly one exit event; the capacity covers the
+	// worst case (a full respawn every round) so watchers never block.
+	exits := make(chan workerExit, n*(cfg.MaxRestarts+2))
+	var liveMu sync.Mutex
+	cmds := make([]*exec.Cmd, n)
+	live := make([]bool, n)
+	done := make([]bool, n)
+	var rank0Out *bytes.Buffer
+
+	killLive := func() {
+		liveMu.Lock()
+		defer liveMu.Unlock()
+		for r, c := range cmds {
+			if live[r] {
+				c.Process.Kill()
+			}
+		}
+	}
+	// Never leak worker processes, whatever path returns.
+	defer killLive()
+	stopCancel := context.AfterFunc(ctx, killLive)
+	defer stopCancel()
+
+	spawn := func(r, incarnation int, killAt int64) error {
+		rdv := filepath.Join(rdvRoot, strconv.Itoa(incarnation))
+		cmd := exec.Command(cfg.Exe, cfg.Args...)
+		cmd.Env = append(os.Environ(),
+			envWorker+"=1",
+			envLocalized+"=1",
+			envRank+"="+strconv.Itoa(r),
+			envRanks+"="+strconv.Itoa(n),
+			envIncarnation+"="+strconv.Itoa(incarnation),
+			envRendezvous+"="+rdv,
+			envStore+"="+cfg.StoreDir,
+			envDetector+"="+strconv.FormatInt(cfg.DetectorTimeout.Milliseconds(), 10),
+		)
+		if killAt > 0 {
+			cmd.Env = append(cmd.Env, envKillAtOp+"="+strconv.FormatInt(killAt, 10))
+		}
+		if r == 0 {
+			rank0Out = &bytes.Buffer{}
+			cmd.Stdout = rank0Out
+		}
+		cmd.Stderr = &prefixWriter{w: cfg.Stderr, mu: &errMu, prefix: fmt.Sprintf("[rank %d] ", r)}
+		statsR, statsW, err := os.Pipe()
+		if err != nil {
+			return fmt.Errorf("launch: stats pipe for rank %d: %w: %w", r, cerr.ErrTransport, err)
+		}
+		cmd.ExtraFiles = []*os.File{statsW}
+		cmd.Env = append(cmd.Env, envStatsFD+"=3")
+		if err := cmd.Start(); err != nil {
+			statsR.Close()
+			statsW.Close()
+			return fmt.Errorf("launch: spawn rank %d: %w: %w", r, cerr.ErrTransport, err)
+		}
+		statsW.Close()
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			defer statsR.Close()
+			protocol.ReadStatsFrames(statsR, observe)
+		}()
+		if cfg.Verbose {
+			note := ""
+			if killAt > 0 {
+				note = fmt.Sprintf(" (SIGKILL at op %d)", killAt)
+			}
+			logf("c3launch: incarnation %d: rank %d is pid %d%s\n", incarnation, r, cmd.Process.Pid, note)
+		}
+		liveMu.Lock()
+		cmds[r] = cmd
+		live[r] = true
+		liveMu.Unlock()
+		watchWG.Add(1)
+		go func(r int, cmd *exec.Cmd) {
+			defer watchWG.Done()
+			err := cmd.Wait()
+			liveMu.Lock()
+			live[r] = false
+			liveMu.Unlock()
+			ws := cmd.ProcessState
+			exits <- workerExit{
+				rank:   r,
+				err:    err,
+				desc:   ws.String(),
+				code:   ws.ExitCode(),
+				signal: !ws.Exited(),
+			}
+		}(r, cmd)
+		return nil
+	}
+
+	incarnation := 0
+	if err := os.MkdirAll(filepath.Join(rdvRoot, "0"), 0o755); err != nil {
+		return nil, fmt.Errorf("launch: rendezvous dir: %w: %w", cerr.ErrSpec, err)
+	}
+	kill := killMapFor(cfg.Kills, 0)
+	for r := 0; r < n; r++ {
+		if err := spawn(r, 0, kill[r]); err != nil {
+			return nil, err
+		}
+	}
+	res.Incarnations = append(res.Incarnations, newIncarnationReport(n))
+	cur := func() *IncarnationReport { return &res.Incarnations[len(res.Incarnations)-1] }
+	for r := range cmds {
+		cur().PIDs[r] = cmds[r].Process.Pid
+	}
+
+	// handleExit folds one exit event into the current report and
+	// classifies it. A hard failure (anything but exit 0, the rollback
+	// code, or a signal) ends the run.
+	var hardCauses []error
+	rollbackPending := false
+	handleExit := func(e workerExit) {
+		cur().Exits[e.rank] = e.desc
+		cur().Codes[e.rank] = e.code
+		switch {
+		case e.err == nil:
+			done[e.rank] = true
+		case e.signal || e.code == exitRollback:
+			rollbackPending = true
+			if cfg.Verbose {
+				logf("c3launch: incarnation %d: rank %d exited: %s\n", incarnation, e.rank, e.desc)
+			}
+		default:
+			cat := cerr.FromExitCode(e.code)
+			if cat == nil {
+				cat = cerr.ErrProgram
+			}
+			hardCauses = append(hardCauses, fmt.Errorf("rank %d: %w (%s)", e.rank, cat, e.desc))
+		}
+	}
+	allDone := func() bool {
+		for _, d := range done {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		handleExit(<-exits)
+		// A death burst (multi-rank kill, cascade) should cost one rollback
+		// round, not one per corpse: linger briefly for co-dying ranks.
+		if rollbackPending {
+			settle := time.After(200 * time.Millisecond)
+		drain:
+			for {
+				select {
+				case e := <-exits:
+					handleExit(e)
+				case <-settle:
+					break drain
+				}
+			}
+		}
+		if cause := ctx.Err(); cause != nil {
+			killLive()
+			return nil, fmt.Errorf("launch: run canceled: %w: %w", cerr.ErrCanceled, cause)
+		}
+		if len(hardCauses) > 0 {
+			killLive()
+			cat := cerr.Category(errors.Join(hardCauses...))
+			return nil, fmt.Errorf("launch: incarnation %d failed hard: %w: %s",
+				incarnation, cat, strings.Join(nonEmpty(cur().Exits), ", "))
+		}
+		if !rollbackPending {
+			if !allDone() {
+				continue
+			}
+			res.Output = rank0Out.String()
+			res.Stats = agg.FinalStats()
+			res.PerRank = agg.PerRank()
+			if cleanupWork {
+				os.RemoveAll(cfg.WorkDir)
+			}
+			return res, nil
+		}
+
+		// Rollback round: abort the dead incarnation's mesh, gather the
+		// recovery plan once, publish each rank's slice, respawn only the
+		// ranks whose processes are gone.
+		res.Restarts++
+		if res.Restarts > cfg.MaxRestarts {
+			killLive()
+			return nil, fmt.Errorf("%w (%d)", ErrTooManyRestarts, cfg.MaxRestarts)
+		}
+		epoch := committedEpoch(cfg.StoreDir)
+		cur().RecoveredEpoch = epoch
+		res.RecoveredEpochs = append(res.RecoveredEpochs, epoch)
+		if cfg.OnRestart != nil {
+			cfg.OnRestart(res.Restarts)
+		}
+		if err := writeMarker(filepath.Join(rdvRoot, strconv.Itoa(incarnation)), abortMarker); err != nil {
+			killLive()
+			return nil, fmt.Errorf("launch: abort incarnation %d: %w: %w", incarnation, cerr.ErrStore, err)
+		}
+		incarnation++
+		kill = killMapFor(cfg.Kills, incarnation)
+		if err := writeRecoveryFiles(cfg, rdvRoot, incarnation, epoch, kill); err != nil {
+			killLive()
+			return nil, err
+		}
+		if cfg.Verbose {
+			logf("c3launch: incarnation %d: recovery plan published (epoch %d)\n", incarnation, epoch)
+		}
+		res.Incarnations = append(res.Incarnations, newIncarnationReport(n))
+		rollbackPending = false
+		for r := 0; r < n; r++ {
+			done[r] = false
+			liveMu.Lock()
+			alive := live[r]
+			liveMu.Unlock()
+			if !alive {
+				// The kill plan rides in the recovery file for every rank of
+				// this incarnation (survivors included); no env needed.
+				if err := spawn(r, incarnation, 0); err != nil {
+					killLive()
+					return nil, err
+				}
+			}
+			cur().PIDs[r] = cmds[r].Process.Pid
+		}
+	}
+}
+
+// killMapFor extracts one incarnation's kill schedule.
+func killMapFor(kills []KillSpec, incarnation int) map[int]int64 {
+	m := map[int]int64{}
+	for _, k := range kills {
+		if k.Incarnation == incarnation {
+			m[k.Rank] = k.AtOp
+		}
+	}
+	return m
+}
+
+func nonEmpty(ss []string) []string {
+	var out []string
+	for _, s := range ss {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// rankRecoveryFile is the gob schema of recovery.<rank>: one rank's slice
+// of the launcher-side recovery gather plus its kill plan for the
+// incarnation. Epoch -1 means "fresh start, do not restore".
+type rankRecoveryFile struct {
+	Epoch    int
+	Suppress []uint32
+	Replicas map[string][]byte
+	KillAtOp int64
+}
+
+// writeRecoveryFiles gathers the recovery plan for the committed epoch
+// (O(ranks) sidecar reads; skipped entirely when nothing committed) and
+// publishes each rank's slice plus the GO marker into the incarnation's
+// rendezvous directory. GO is written last: a worker that sees it may
+// trust every recovery file is in place.
+func writeRecoveryFiles(cfg Config, rdvRoot string, incarnation, epoch int, kill map[int]int64) error {
+	dir := filepath.Join(rdvRoot, strconv.Itoa(incarnation))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("launch: rendezvous dir: %w: %w", cerr.ErrSpec, err)
+	}
+	var plan *protocol.RecoveryPlan
+	if epoch >= 0 {
+		disk, err := storage.NewDisk(cfg.StoreDir)
+		if err != nil {
+			return fmt.Errorf("launch: open store for recovery gather: %w: %w", cerr.ErrStore, err)
+		}
+		plan, err = protocol.GatherRecovery(storage.NewCheckpointStore(disk), epoch, cfg.Ranks)
+		if err != nil {
+			return fmt.Errorf("launch: gather recovery plan: %w: %w", cerr.ErrStore, err)
+		}
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		f := rankRecoveryFile{Epoch: -1, KillAtOp: kill[r]}
+		if plan != nil {
+			f.Epoch = epoch
+			f.Suppress = plan.Suppress[r]
+			f.Replicas = plan.Replicas
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&f); err != nil {
+			return fmt.Errorf("launch: encode recovery file: %w: %w", cerr.ErrStore, err)
+		}
+		name := fmt.Sprintf("%s.%04d", recoveryPrefix, r)
+		if err := writeFileAtomic(dir, name, buf.Bytes()); err != nil {
+			return fmt.Errorf("launch: write %s: %w: %w", name, cerr.ErrStore, err)
+		}
+	}
+	if err := writeMarker(dir, goMarker); err != nil {
+		return fmt.Errorf("launch: write GO marker: %w: %w", cerr.ErrStore, err)
+	}
+	return nil
+}
+
+func writeMarker(dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, name, []byte("1"))
+}
+
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}
+
+// readRecoveryFile loads one rank's recovery slice for an incarnation.
+func readRecoveryFile(rdvParent string, incarnation, rank int) (*rankRecoveryFile, error) {
+	path := filepath.Join(rdvParent, strconv.Itoa(incarnation), fmt.Sprintf("%s.%04d", recoveryPrefix, rank))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f rankRecoveryFile
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// awaitNextIncarnation polls the rendezvous tree for a GO marker of an
+// incarnation newer than cur, returning the newest found. ok is false on
+// timeout — the launcher never published a successor, so the caller should
+// exit with the rollback code and let itself be respawned.
+func awaitNextIncarnation(rdvParent string, cur int, timeout time.Duration) (next int, ok bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		best := -1
+		entries, _ := os.ReadDir(rdvParent)
+		for _, ent := range entries {
+			i, err := strconv.Atoi(ent.Name())
+			if err != nil || i <= cur || i <= best {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(rdvParent, ent.Name(), goMarker)); err == nil {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+		if time.Now().After(deadline) {
+			return 0, false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// abortedMesh reports whether the launcher abandoned an incarnation's mesh.
+func abortedMesh(rdv string) bool {
+	_, err := os.Stat(filepath.Join(rdv, abortMarker))
+	return err == nil
 }
 
 func doomedNote(kill map[int]int64, r int) string {
@@ -602,67 +1043,145 @@ func workerRun(app WorkerApp) (int, error) {
 	if app.WrapStore != nil {
 		store = app.WrapStore(store)
 	}
-	publish, lookup := tcptransport.FileRendezvous(rdv, 30*time.Second)
-	tr, err := tcptransport.New(tcptransport.Config{
-		Rank: rank, Size: ranks,
-		Publish: publish, Lookup: lookup,
-		SuspectTimeout: time.Duration(detectorMS) * time.Millisecond,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "tcptransport: "+format+"\n", args...)
-		},
-	})
-	if err != nil {
-		return cerr.CodeTransport, fmt.Errorf("%w: %w", cerr.ErrTransport, err)
-	}
-	defer tr.Close()
 
-	res, err := engine.RunWorker(context.Background(), engine.WorkerConfig{
-		Rank: rank, Ranks: ranks,
-		Incarnation:      incarnation,
-		Mode:             app.Mode,
-		Store:            store,
-		EveryN:           app.EveryN,
-		Interval:         app.Interval,
-		SyncCheckpoint:   app.SyncCheckpoint,
-		ChunkSize:        app.ChunkSize,
-		FullFreeze:       app.FullFreeze,
-		FreezeCrossCheck: app.FreezeCrossCheck,
-		FlushBandwidth:   app.FlushBandwidth,
-		NoFlushGovernor:  app.NoFlushGovernor,
-		ChunkPipeline:    app.ChunkPipeline,
-		KillAtOp:         killAtOp,
-		Kill: func() {
-			// A real stopping failure: no deferred cleanup, no recover, no
-			// goodbye on the sockets — the kernel reaps the process and
-			// peers see connection resets.
-			syscall.Kill(os.Getpid(), syscall.SIGKILL)
-			select {} // unreachable: SIGKILL cannot be handled
-		},
-		Seed:         app.Seed,
-		Debug:        app.Debug,
-		NewTransport: tr.Attach,
-		Start:        tr.Start,
-		AnnounceDone: tr.AnnounceDone,
-		AllDone:      tr.AllDone,
-		StatsSink:    statsSink,
-	}, app.Prog)
-	switch {
-	case errors.Is(err, engine.ErrIncarnationDead):
-		if res.RecoveredEpoch >= 0 {
-			fmt.Fprintf(os.Stderr, "rank %d: incarnation %d (recovered from epoch %d) died; awaiting re-spawn\n",
-				rank, incarnation, res.RecoveredEpoch)
+	// Localized recovery: this process outlives its incarnation. When the
+	// world dies, it keeps its in-memory checkpoint copies, waits for the
+	// launcher to publish the next incarnation's recovery files and GO
+	// marker, and rejoins the new mesh in-process instead of exiting to be
+	// re-exec'd. Non-localized (whole-world) workers run exactly one
+	// incarnation and exit with the rollback code on any death.
+	localized := os.Getenv(envLocalized) == "1"
+	rdvParent := filepath.Dir(rdv)
+	// How long a surviving worker waits for the launcher's GO before
+	// giving up and exiting with the rollback code (the launcher then
+	// re-execs it like a dead rank, so a lost marker costs one restart,
+	// not a hang). Generous: the launcher publishes right after its
+	// settle-drain and an O(ranks) gather.
+	graceWait := 4*time.Duration(detectorMS)*time.Millisecond + 10*time.Second
+
+	var rec *protocol.RankRecovery
+	var retained []*protocol.RetainedState
+	loadRecovery := func(inc int) (int, error) {
+		f, err := readRecoveryFile(rdvParent, inc, rank)
+		if err != nil {
+			return cerr.CodeStore, fmt.Errorf("%w: read recovery file: %w", cerr.ErrStore, err)
 		}
-		return exitRollback, nil
-	case err != nil:
-		return cerr.ExitCode(err), err
+		rec = &protocol.RankRecovery{Epoch: f.Epoch, Suppress: f.Suppress, Replicas: f.Replicas}
+		killAtOp = f.KillAtOp
+		return 0, nil
 	}
-	if rank == 0 {
-		if res.RecoveredEpoch >= 0 {
-			fmt.Fprintf(os.Stderr, "rank 0: incarnation %d recovered from global checkpoint %d\n", incarnation, res.RecoveredEpoch)
+	if localized {
+		if incarnation > 0 {
+			// A replacement spawned mid-job: its recovery inputs (and kill
+			// plan) come from the launcher's published file, not the env.
+			if code, err := loadRecovery(incarnation); err != nil {
+				return code, err
+			}
+		} else {
+			rec = &protocol.RankRecovery{Epoch: -1} // fresh start
 		}
-		fmt.Printf("result: %v\n", res.Value)
 	}
-	return exitOK, nil
+
+	for {
+		var publish func(int, string) error
+		var lookup func(int) (string, error)
+		if localized {
+			publish, lookup = tcptransport.FileRendezvousCancel(rdv, 30*time.Second,
+				func() bool { return abortedMesh(rdv) })
+		} else {
+			publish, lookup = tcptransport.FileRendezvous(rdv, 30*time.Second)
+		}
+		tr, err := tcptransport.New(tcptransport.Config{
+			Rank: rank, Size: ranks,
+			Publish: publish, Lookup: lookup,
+			SuspectTimeout: time.Duration(detectorMS) * time.Millisecond,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tcptransport: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return cerr.CodeTransport, fmt.Errorf("%w: %w", cerr.ErrTransport, err)
+		}
+
+		res, err := engine.RunWorker(context.Background(), engine.WorkerConfig{
+			Rank: rank, Ranks: ranks,
+			Incarnation:      incarnation,
+			Mode:             app.Mode,
+			Store:            store,
+			EveryN:           app.EveryN,
+			Interval:         app.Interval,
+			SyncCheckpoint:   app.SyncCheckpoint,
+			ChunkSize:        app.ChunkSize,
+			FullFreeze:       app.FullFreeze,
+			FreezeCrossCheck: app.FreezeCrossCheck,
+			FlushBandwidth:   app.FlushBandwidth,
+			NoFlushGovernor:  app.NoFlushGovernor,
+			ChunkPipeline:    app.ChunkPipeline,
+			KillAtOp:         killAtOp,
+			Kill: func() {
+				// A real stopping failure: no deferred cleanup, no recover, no
+				// goodbye on the sockets — the kernel reaps the process and
+				// peers see connection resets.
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				select {} // unreachable: SIGKILL cannot be handled
+			},
+			Seed:              app.Seed,
+			Debug:             app.Debug,
+			NewTransport:      tr.Attach,
+			Start:             tr.Start,
+			AnnounceDone:      tr.AnnounceDone,
+			AllDone:           tr.AllDone,
+			StatsSink:         statsSink,
+			Recovery:          rec,
+			Retained:          retained,
+			RetainForRecovery: localized,
+		}, app.Prog)
+		tr.Close()
+
+		rejoin := false
+		switch {
+		case errors.Is(err, engine.ErrIncarnationDead):
+			if !localized {
+				if res.RecoveredEpoch >= 0 {
+					fmt.Fprintf(os.Stderr, "rank %d: incarnation %d (recovered from epoch %d) died; awaiting re-spawn\n",
+						rank, incarnation, res.RecoveredEpoch)
+				}
+				return exitRollback, nil
+			}
+			rejoin = true
+		case err != nil && localized && errors.Is(err, cerr.ErrTransport) && abortedMesh(rdv):
+			// Mesh formation lost the race with a newer incarnation: the
+			// launcher aborted this one after another death. Rejoin.
+			rejoin = true
+		case err != nil:
+			return cerr.ExitCode(err), err
+		}
+		if !rejoin {
+			if rank == 0 {
+				if res.RecoveredEpoch >= 0 {
+					fmt.Fprintf(os.Stderr, "rank 0: incarnation %d recovered from global checkpoint %d\n", incarnation, res.RecoveredEpoch)
+				}
+				fmt.Printf("result: %v\n", res.Value)
+			}
+			return exitOK, nil
+		}
+		if len(res.Retained) > 0 {
+			retained = res.Retained
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: incarnation %d died; awaiting localized restart\n", rank, incarnation)
+		next, ok := awaitNextIncarnation(rdvParent, incarnation, graceWait)
+		if !ok {
+			// The launcher never published a successor (it may be tearing the
+			// world down, or the marker was lost): fall back to the
+			// whole-world contract and let it re-exec this rank.
+			return exitRollback, nil
+		}
+		incarnation = next
+		rdv = filepath.Join(rdvParent, strconv.Itoa(incarnation))
+		if code, err := loadRecovery(incarnation); err != nil {
+			return code, err
+		}
+	}
 }
 
 func envInt(key string) (int, error) {

@@ -80,16 +80,63 @@ type tagKey struct {
 }
 
 // tagBuckets is the per-(ctx, tag) index: one bucket per source, a count
-// of queued indexed nodes across all of them, and a cache of the earliest
-// such node. Together they make the AnySource match O(1) per poll: with
-// hundreds of ranks a parked receiver re-polls its specs on every wakeup,
-// and iterating a several-hundred-entry source map per poll dominated
-// 512-rank profiles. The cache is invalidated when its node is removed and
-// recomputed on the next lookup — amortized once per consumed message.
+// of queued indexed nodes across all of them, and a lazy min-heap of
+// bucket heads ordered by master key. The heap makes the AnySource match
+// amortized O(log sources) per consumed message: the previous design
+// cached the earliest node and rescanned the whole source map whenever
+// the cached node was consumed, which is O(sources) per message — at
+// 1000 ranks that rescan (one per gathered message at the collective
+// root) dominated whole-run profiles. Heap entries are lazy: a bucket is
+// pushed with its head's key whenever it gains a new head, and an entry
+// is discarded on peek if the bucket's head no longer matches it, so no
+// decrease-key is ever needed and total heap work is bounded by total
+// messages indexed.
 type tagBuckets struct {
 	srcs map[int]*bucket
 	live int
-	min  *node // earliest queued node, or nil when invalidated
+	heap []headEntry
+}
+
+// headEntry is one lazy heap entry: bkt claimed to have a head with this
+// master key when pushed. Valid iff bkt.head still has exactly that key.
+type headEntry struct {
+	key uint64
+	bkt *bucket
+}
+
+// pushHead registers bkt's current head in the lazy heap (mailbox mu held).
+func (tb *tagBuckets) pushHead(bkt *bucket) {
+	tb.heap = append(tb.heap, headEntry{key: bkt.head.key, bkt: bkt})
+	for i := len(tb.heap) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if tb.heap[parent].key <= tb.heap[i].key {
+			break
+		}
+		tb.heap[parent], tb.heap[i] = tb.heap[i], tb.heap[parent]
+		i = parent
+	}
+}
+
+// popHead removes the root entry (mailbox mu held).
+func (tb *tagBuckets) popHead() {
+	last := len(tb.heap) - 1
+	tb.heap[0] = tb.heap[last]
+	tb.heap = tb.heap[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && tb.heap[l].key < tb.heap[small].key {
+			small = l
+		}
+		if r < last && tb.heap[r].key < tb.heap[small].key {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		tb.heap[small], tb.heap[i] = tb.heap[i], tb.heap[small]
+		i = small
+	}
 }
 
 // Master-order keys are spaced keyGap apart on append; a chaos insertion
@@ -269,6 +316,17 @@ func (b *mailbox) renumber() {
 		q.key = key
 		key += keyGap
 	}
+	// Every head entry in every lazy heap now carries a stale key: rebuild
+	// them from the live buckets. Renumbering is rare (it takes ~20 chaos
+	// insertions into one gap), so the full rebuild stays off the hot path.
+	for _, tb := range b.byTag {
+		tb.heap = tb.heap[:0]
+		for _, bkt := range tb.srcs {
+			if bkt.head != nil {
+				tb.pushHead(bkt)
+			}
+		}
+	}
 }
 
 // bucketAppend registers n at the tail of its (ctx, tag, source) bucket.
@@ -293,13 +351,11 @@ func (b *mailbox) bucketAppend(n *node) {
 	}
 	tb := bkt.tb
 	tb.live++
-	if tb.min != nil && n.key < tb.min.key {
-		tb.min = n
-	}
 	b.indexed++
 	n.bkt = bkt
 	if bkt.tail == nil {
 		bkt.head, bkt.tail = n, n
+		tb.pushHead(bkt) // bucket gained a head: make it findable
 		return
 	}
 	n.bprev = bkt.tail
@@ -322,9 +378,7 @@ func (b *mailbox) remove(n *node) {
 	if bkt := n.bkt; bkt != nil {
 		b.indexed--
 		bkt.tb.live--
-		if bkt.tb.min == n {
-			bkt.tb.min = nil
-		}
+		wasHead := n.bprev == nil
 		if n.bprev != nil {
 			n.bprev.bnext = n.bnext
 		} else {
@@ -334,6 +388,11 @@ func (b *mailbox) remove(n *node) {
 			n.bnext.bprev = n.bprev
 		} else {
 			bkt.tail = n.bprev
+		}
+		if wasHead && bkt.head != nil {
+			// The bucket's head changed: its old heap entry is now stale
+			// (discarded lazily on the next peek) and the new head needs one.
+			bkt.tb.pushHead(bkt)
 		}
 		if bkt.head == nil {
 			b.emptyBuckets++
@@ -407,21 +466,21 @@ func (b *mailbox) tryMatch(specs []RecvSpec) (int, *Message) {
 	return bestSpec, m
 }
 
-// minFor returns the earliest queued node of the (ctx, tag) index, using
-// the cached value when valid and recomputing it over the source buckets
-// otherwise (mu held).
+// minFor returns the earliest queued node of the (ctx, tag) index: the
+// first valid entry of the lazy heap, discarding stale entries whose
+// bucket head moved on or drained (mu held).
 func (b *mailbox) minFor(tb *tagBuckets) *node {
 	if tb == nil || tb.live == 0 {
 		return nil
 	}
-	if tb.min == nil {
-		for _, bkt := range tb.srcs {
-			if h := bkt.head; h != nil && (tb.min == nil || h.key < tb.min.key) {
-				tb.min = h
-			}
+	for len(tb.heap) > 0 {
+		e := tb.heap[0]
+		if h := e.bkt.head; h != nil && h.key == e.key {
+			return h
 		}
+		tb.popHead()
 	}
-	return tb.min
+	return nil
 }
 
 // scanMatch is the ordered fallback for wildcard-tag receives: walk the

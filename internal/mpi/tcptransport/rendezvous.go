@@ -15,6 +15,15 @@ import (
 // every worker of one incarnation the same directory; a fresh directory per
 // incarnation keeps stale addresses of dead processes out of the mesh.
 func FileRendezvous(dir string, timeout time.Duration) (publish func(rank int, addr string) error, lookup func(rank int) (string, error)) {
+	return FileRendezvousCancel(dir, timeout, nil)
+}
+
+// FileRendezvousCancel is FileRendezvous with a cancellation probe: lookup
+// additionally fails fast once canceled() reports true. A launcher that
+// abandons an incarnation mid-mesh-formation (localized recovery's ABORT
+// marker) uses it so parked workers stop waiting for addresses that will
+// never be published.
+func FileRendezvousCancel(dir string, timeout time.Duration, canceled func() bool) (publish func(rank int, addr string) error, lookup func(rank int) (string, error)) {
 	path := func(rank int) string {
 		return filepath.Join(dir, "addr."+strconv.Itoa(rank))
 	}
@@ -43,6 +52,9 @@ func FileRendezvous(dir string, timeout time.Duration) (publish func(rank int, a
 			b, err := os.ReadFile(path(rank))
 			if err == nil && len(b) > 0 {
 				return string(b), nil
+			}
+			if canceled != nil && canceled() {
+				return "", fmt.Errorf("tcptransport: rendezvous in %s canceled before rank %d published", dir, rank)
 			}
 			if time.Now().After(deadline) {
 				return "", fmt.Errorf("tcptransport: rank %d never published an address in %s", rank, dir)

@@ -28,7 +28,8 @@ type flushResult struct {
 	epoch          int
 	total, written int64
 	dur            time.Duration
-	throttleNs     int64 // governor sleep time during this write
+	throttleNs     int64  // governor sleep time during this write
+	retain         []byte // teed serialized blob (localized recovery), or nil
 	err            error
 }
 
@@ -61,7 +62,7 @@ func (l *Layer) flushLoop() {
 		start := l.clk.Now()
 		total, written, err := l.writeState(p)
 		l.flushOut <- flushResult{epoch: p.epoch, total: total, written: written,
-			dur: l.clk.Since(start), throttleNs: l.gov.drainThrottle(), err: err}
+			dur: l.clk.Since(start), throttleNs: l.gov.drainThrottle(), retain: p.retainedBytes(), err: err}
 		// Wake ranks parked in the transport (ServiceControlUntil) so the
 		// completion is observed without waiting for unrelated traffic.
 		l.comm.World().Interrupt()
@@ -114,6 +115,9 @@ func (l *Layer) integrateFlush(r flushResult) {
 	now := l.clk.Now()
 	l.gov.observeFlush(l.potentialCalls-l.govMarkOps, now.Sub(l.govMark), r.total, r.dur)
 	l.govMark, l.govMarkOps = now, l.potentialCalls
+	if r.retain != nil {
+		l.retainStates.put(r.epoch, r.retain)
+	}
 	l.trace(TraceCheckpoint, -1, 0, 0, int(r.total))
 	l.emitStats()
 }

@@ -114,6 +114,12 @@ type Config struct {
 	// ErrProgram naming the stale variable instead of silently divergent
 	// recovered state. Debug mode: costs a full encode per checkpoint.
 	FreezeCrossCheck bool
+	// RetainForRecovery keeps an in-memory copy of the serialized
+	// checkpoint (state and log blobs of the newest two epochs) alongside
+	// the durable write. A surviving rank hands the copies back through
+	// RestoreFrom on rollback and never touches the store — the localized
+	// recovery path. Costs one extra in-memory copy of the state blob.
+	RetainForRecovery bool
 	// IncrementalFreeze enables dirty-region tracking in the state-saving
 	// runtime: a checkpoint's blocking freeze copies only regions touched
 	// since the previous epoch (see ckpt.Saver.Incremental) and
@@ -177,6 +183,10 @@ type Stats struct {
 	SuppressedSends        int64 `json:"suppressed_sends"`
 	ReplayedLate           int64 `json:"replayed_late"`
 	ReplayedResults        int64 `json:"replayed_results"`
+	// RecoveredFromRetained counts restores served from this rank's
+	// in-memory retained checkpoint copy instead of the store (localized
+	// recovery's survivor path).
+	RecoveredFromRetained int64 `json:"recovered_from_retained"`
 }
 
 // AppMessage is a delivered application message (piggyback stripped).
@@ -250,6 +260,13 @@ type Layer struct {
 	flushClosed  bool
 	logDone      bool
 	stopSent     bool
+
+	// Retained checkpoint copies (localized recovery): the serialized
+	// state and log blobs of the newest two epochs, as streamed to the
+	// store. Written from the rank's goroutine only (integrateFlush /
+	// finalizeLog). Empty unless cfg.RetainForRecovery.
+	retainStates retainedRing
+	retainLogs   retainedRing
 
 	// Completion: once the application on this rank has finished, the
 	// layer only services control traffic.
@@ -535,6 +552,9 @@ func (l *Layer) finalizeLog() {
 	if err := l.cfg.Store.PutLog(l.epoch, l.rank, blob); err != nil {
 		panic(fmt.Errorf("protocol: persist log (epoch %d, rank %d): %w: %w", l.epoch, l.rank, cerr.ErrStore, err))
 	}
+	if l.cfg.RetainForRecovery {
+		l.retainLogs.put(l.epoch, blob)
+	}
 	l.Stats.LogBytes += int64(len(blob))
 	l.amLogging = false
 	l.trace(TraceLogFinalized, -1, 0, 0, len(blob))
@@ -594,7 +614,7 @@ func (l *Layer) takeCheckpoint() {
 		fstart := l.clk.Now()
 		total, written, err := l.writeState(p)
 		l.finishFlush(flushResult{epoch: p.epoch, total: total, written: written,
-			dur: l.clk.Since(fstart), throttleNs: l.gov.drainThrottle(), err: err})
+			dur: l.clk.Since(fstart), throttleNs: l.gov.drainThrottle(), retain: p.retainedBytes(), err: err})
 	}
 	l.Stats.CheckpointsTaken++
 	l.Stats.CheckpointBlockedNs += l.clk.Since(start).Nanoseconds()

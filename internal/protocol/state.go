@@ -46,6 +46,20 @@ type pendingCheckpoint struct {
 	epoch  int
 	hdr    checkpointState // App nil; the app section is streamed from frozen
 	frozen *ckpt.Frozen    // nil outside Full mode
+	// retain, when non-nil, tees every serialized byte writeState streams
+	// to the store — the in-memory copy localized recovery restores
+	// survivors from. Owned by the flusher while the write runs; handed
+	// back to the rank goroutine inside the flushResult.
+	retain *bytes.Buffer
+}
+
+// retainedBytes returns the teed serialized blob, or nil when retention is
+// off.
+func (p *pendingCheckpoint) retainedBytes() []byte {
+	if p.retain == nil {
+		return nil
+	}
+	return p.retain.Bytes()
 }
 
 // stateMagicV2 marks the streamed state-blob layout: magic, uvarint-framed
@@ -58,6 +72,9 @@ var stateMagicV2 = []byte("C3SB0002")
 // storage I/O happens here.
 func (l *Layer) captureState() (*pendingCheckpoint, error) {
 	p := &pendingCheckpoint{epoch: l.epoch}
+	if l.cfg.RetainForRecovery {
+		p.retain = &bytes.Buffer{}
+	}
 	p.hdr = checkpointState{
 		Epoch: l.epoch,
 		// The outer slices are re-pointed (earlyIDs) or appended to
@@ -126,7 +143,13 @@ func (l *Layer) writeState(p *pendingCheckpoint) (total, written int64, err erro
 	// All stream writes pass through the governor's token bucket, so a
 	// bandwidth cap (fixed or adaptive) paces the whole write — the
 	// serialization memcopies as well as the store Puts behind them.
-	gw := governedSection{w: w, gov: l.gov}
+	var gw ckpt.SectionWriter = governedSection{w: w, gov: l.gov}
+	if p.retain != nil {
+		// Tee every serialized byte into the retained in-memory copy; the
+		// copy is byte-identical to the store blob, so unmarshalState (and
+		// so RestoreFrom) reads it directly.
+		gw = teeSection{w: gw, buf: p.retain}
+	}
 	if _, err := gw.Write(hdr.Bytes()); err != nil {
 		return 0, 0, err
 	}
@@ -141,7 +164,17 @@ func (l *Layer) writeState(p *pendingCheckpoint) (total, written int64, err erro
 			return 0, 0, err
 		}
 	}
-	return w.Commit()
+	total, written, err = w.Commit()
+	if err != nil {
+		return total, written, err
+	}
+	// The recovery-metadata sidecar rides behind the state manifest: it
+	// only accelerates the recovery gather, so it must never exist without
+	// the state it summarizes. One tiny Put per checkpoint.
+	if err := saveRecoveryMeta(l.cfg.Store, p.epoch, l.rank, p.hdr.EarlyIDs); err != nil {
+		return total, written, err
+	}
+	return total, written, nil
 }
 
 // governedSection wraps the chunked state writer with the flush
@@ -158,6 +191,21 @@ func (g governedSection) Write(p []byte) (int, error) {
 }
 
 func (g governedSection) Cut() error { return g.w.Cut() }
+
+// teeSection copies the serialized stream into the retained buffer on its
+// way to the store. It wraps the governed writer, so the copy itself is
+// not throttled.
+type teeSection struct {
+	w   ckpt.SectionWriter
+	buf *bytes.Buffer
+}
+
+func (t teeSection) Write(p []byte) (int, error) {
+	t.buf.Write(p)
+	return t.w.Write(p)
+}
+
+func (t teeSection) Cut() error { return t.w.Cut() }
 
 func unmarshalState(raw []byte) (*checkpointState, error) {
 	var st checkpointState
@@ -212,14 +260,34 @@ func LoadAppState(store *storage.CheckpointStore, epoch, rank int) ([]byte, erro
 }
 
 // Restore rebuilds the layer from the committed global checkpoint at the
-// given epoch. suppress lists the message IDs (gathered from every
-// receiver's early-ID sets) that this rank must not re-send during
-// recovery. It returns the application-state blob for the caller to hand
-// to the state-saving runtime before the application function re-executes.
+// given epoch, always reading the store. See RestoreFrom.
 func (l *Layer) Restore(epoch int, suppress []uint32) ([]byte, error) {
-	raw, err := l.cfg.Store.GetState(epoch, l.rank)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: load state (epoch %d, rank %d): %w", epoch, l.rank, err)
+	return l.RestoreFrom(epoch, suppress, nil)
+}
+
+// RestoreFrom rebuilds the layer from the committed global checkpoint at
+// the given epoch. suppress lists the message IDs (gathered from every
+// receiver's early-ID sets) that this rank must not re-send during
+// recovery. retained, when it holds a copy for exactly this epoch, serves
+// the state and log blobs from memory — a surviving rank's localized
+// rollback touches the store not at all. It returns the application-state
+// blob for the caller to hand to the state-saving runtime before the
+// application function re-executes.
+func (l *Layer) RestoreFrom(epoch int, suppress []uint32, retained []*RetainedState) ([]byte, error) {
+	var raw, logRaw []byte
+	if ret := retainedFor(retained, epoch); ret != nil {
+		raw, logRaw = ret.State, ret.Log
+		l.Stats.RecoveredFromRetained++
+	} else {
+		var err error
+		raw, err = l.cfg.Store.GetState(epoch, l.rank)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: load state (epoch %d, rank %d): %w", epoch, l.rank, err)
+		}
+		logRaw, err = l.cfg.Store.GetLog(epoch, l.rank)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: load log (epoch %d, rank %d): %w", epoch, l.rank, err)
+		}
 	}
 	st, err := unmarshalState(raw)
 	if err != nil {
@@ -227,10 +295,6 @@ func (l *Layer) Restore(epoch int, suppress []uint32) ([]byte, error) {
 	}
 	if st.Epoch != epoch {
 		return nil, fmt.Errorf("protocol: state blob epoch %d != requested %d", st.Epoch, epoch)
-	}
-	logRaw, err := l.cfg.Store.GetLog(epoch, l.rank)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: load log (epoch %d, rank %d): %w", epoch, l.rank, err)
 	}
 	lg, err := UnmarshalLog(logRaw)
 	if err != nil {

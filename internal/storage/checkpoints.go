@@ -31,6 +31,13 @@ func StateKey(epoch, rank int) string { return fmt.Sprintf("ckpt/%08d/state.%04d
 // LogKey names the message/non-determinism log blob for (epoch, rank).
 func LogKey(epoch, rank int) string { return fmt.Sprintf("ckpt/%08d/log.%04d", epoch, rank) }
 
+// MetaKey names the recovery-metadata manifest for (epoch, rank): a small
+// sidecar blob holding just what the recovery driver gathers (the early-
+// message ID sets), so a restart reads O(ranks) tiny blobs instead of
+// every rank's full state. Written after the state manifest commits, and
+// pruned with the rest of the epoch directory.
+func MetaKey(epoch, rank int) string { return fmt.Sprintf("ckpt/%08d/meta.%04d", epoch, rank) }
+
 const commitKey = "ckpt/COMMIT"
 
 // PutState durably stores a rank's local checkpoint state for an epoch as
@@ -63,6 +70,18 @@ func (c *CheckpointStore) getBlob(key string) ([]byte, error) {
 		return Assemble(c.S, b)
 	}
 	return b, nil
+}
+
+// PutMeta durably stores a rank's recovery-metadata sidecar for an epoch.
+func (c *CheckpointStore) PutMeta(epoch, rank int, data []byte) error {
+	return c.S.Put(MetaKey(epoch, rank), data)
+}
+
+// GetMeta loads a rank's recovery-metadata sidecar for an epoch. Returns
+// ErrNotFound for checkpoints written before the sidecar existed; callers
+// fall back to reading the full state blob.
+func (c *CheckpointStore) GetMeta(epoch, rank int) ([]byte, error) {
+	return c.S.Get(MetaKey(epoch, rank))
 }
 
 // PutLog durably stores a rank's finalized log for an epoch.

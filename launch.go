@@ -176,16 +176,17 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 		args = os.Args[1:]
 	}
 	lcfg := launch.Config{
-		Exe:             d.Exe,
-		Args:            args,
-		Ranks:           cfg.Ranks,
-		StoreDir:        d.StoreDir,
-		WorkDir:         d.WorkDir,
-		Kills:           kills,
-		MaxRestarts:     cfg.MaxRestarts,
-		DetectorTimeout: d.DetectorTimeout,
-		Stderr:          d.Stderr,
-		Verbose:         d.Verbose,
+		Exe:               d.Exe,
+		Args:              args,
+		Ranks:             cfg.Ranks,
+		StoreDir:          d.StoreDir,
+		WorkDir:           d.WorkDir,
+		Kills:             kills,
+		MaxRestarts:       cfg.MaxRestarts,
+		DetectorTimeout:   d.DetectorTimeout,
+		Stderr:            d.Stderr,
+		Verbose:           d.Verbose,
+		WholeWorldRestart: cfg.WholeWorldRestart,
 	}
 	if spec.metricsAddr != "" {
 		// The launcher serves the aggregated view; this branch is only
@@ -215,6 +216,13 @@ func launchDistributed(ctx context.Context, spec *Spec, prog Program) (*Result, 
 		RecoveredEpochs: lres.RecoveredEpochs,
 		Stats:           lres.Stats,
 		PerRank:         lres.PerRank,
+	}
+	for _, inc := range lres.Incarnations {
+		res.Incarnations = append(res.Incarnations, engine.IncarnationInfo{
+			PIDs:           inc.PIDs,
+			Exits:          inc.Exits,
+			RecoveredEpoch: inc.RecoveredEpoch,
+		})
 	}
 	for _, line := range strings.Split(lres.Output, "\n") {
 		if v, ok := strings.CutPrefix(line, "result: "); ok {

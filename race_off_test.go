@@ -1,0 +1,5 @@
+//go:build !race
+
+package ccift_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ccift_test
+
+// raceEnabled reports whether the race detector is compiled in, so
+// wall-clock bounds can budget for its slowdown instead of skipping.
+const raceEnabled = true

@@ -1,0 +1,113 @@
+package ccift_test
+
+// Scenario-fuzz recovery: seeded random fault schedules — crash bursts,
+// crashes during recovery, crashes of freshly-respawned ranks — run on the
+// simulated substrate, where the whole schedule is a pure function of the
+// seed. Every schedule must end in one of exactly two ways: output
+// byte-identical to the fault-free run, or (when the schedule exhausts the
+// restart budget) a failure matching exactly one public ccift.Err*
+// sentinel. Any failure names the seed to replay with CCIFT_TEST_SEED.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"ccift"
+	"ccift/internal/testseed"
+)
+
+// fuzzSchedule derives one random fault schedule from its seed: between 1
+// and 4 crashes whose shapes deliberately cover the nasty cases —
+// simultaneous bursts (co-dying ranks must cost one rollback), a second
+// crash close on the heels of the first (crash during recovery), and
+// repeat crashes of the same rank (a freshly-respawned rank dying again).
+func fuzzSchedule(seed int64, ranks int) []ccift.Crash {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(4)
+	var crashes []ccift.Crash
+	at := 40*time.Millisecond + time.Duration(rng.Intn(60))*time.Millisecond
+	victim := rng.Intn(ranks)
+	for i := 0; i < n; i++ {
+		crashes = append(crashes, ccift.Crash{Rank: victim, At: at})
+		switch rng.Intn(3) {
+		case 0: // burst: another rank dies (virtually) simultaneously
+			victim = rng.Intn(ranks)
+			at += time.Duration(rng.Intn(3)) * time.Millisecond
+		case 1: // crash during recovery: a different rank, just after
+			victim = rng.Intn(ranks)
+			at += 20*time.Millisecond + time.Duration(rng.Intn(40))*time.Millisecond
+		case 2: // the respawned rank itself dies again
+			at += 30*time.Millisecond + time.Duration(rng.Intn(60))*time.Millisecond
+		}
+	}
+	// Two crashes of one rank at the same virtual instant collapse into
+	// one death; keep them distinct so the schedule's intent survives.
+	seen := map[ccift.Crash]bool{}
+	out := crashes[:0]
+	for _, c := range crashes {
+		for seen[c] {
+			c.At += time.Millisecond
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestFuzzRecoverySchedules(t *testing.T) {
+	const (
+		ranks     = 6
+		iters     = 40
+		width     = 8
+		schedules = 24
+	)
+	base := testseed.Base(t, 9100)
+	ref := soakRef(t, ranks, iters, width)
+
+	n := schedules
+	if testing.Short() {
+		n = 6
+	}
+	if testseed.Replaying() {
+		n = 1 // the overridden seed is the whole run
+	}
+	recovered, exhausted := 0, 0
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		crashes := fuzzSchedule(seed, ranks)
+		sc := ccift.Scenario{
+			Seed:            seed,
+			Latency:         time.Millisecond,
+			Jitter:          500 * time.Microsecond,
+			DetectorTimeout: 25 * time.Millisecond,
+			Crashes:         crashes,
+		}
+		// A budget the denser schedules can exhaust: exhaustion is a
+		// legitimate outcome, but it must surface as the one right error.
+		res, err := ccift.Launch(context.Background(), ccift.NewSpec(
+			ccift.WithRanks(ranks), ccift.WithMode(ccift.Full),
+			ccift.WithEveryN(6), ccift.WithDebug(),
+			ccift.WithMaxRestarts(3),
+			ccift.WithSimulated(sc),
+		), stencil(iters, width))
+		if err != nil {
+			if !errors.Is(err, ccift.ErrMaxRestarts) {
+				t.Fatalf("seed %d (replay with %s=%d): schedule %v failed with %v, want success or ErrMaxRestarts",
+					seed, testseed.Env, seed, crashes, err)
+			}
+			assertExactlyOne(t, err, ccift.ErrMaxRestarts)
+			exhausted++
+			continue
+		}
+		if !reflect.DeepEqual(res.Values, ref) {
+			t.Fatalf("seed %d (replay with %s=%d): schedule %v diverged from the fault-free reference:\n  got %v\n  ref %v",
+				seed, testseed.Env, seed, crashes, res.Values, ref)
+		}
+		recovered++
+	}
+	t.Logf("%d schedules recovered to the reference output, %d exhausted the restart budget cleanly", recovered, exhausted)
+}

@@ -1,12 +1,16 @@
-// Command benchguard is CI's perf-regression gate for the incremental
-// checkpoint path: it compares a fresh BenchmarkCheckpointDirtyFraction
-// run against the committed BENCH_pr9.json baseline and fails (exit 1)
-// when the 10%-dirty numbers regress by more than the threshold.
+// Command benchguard is CI's perf-regression gate. It compares a fresh
+// benchmark run against a committed BENCH_prN.json baseline and fails
+// (exit 1) when the gated metrics regress by more than the threshold.
+//
+// Two gates, selected with -gate:
 //
 //	go test -bench CheckpointDirtyFraction -run '^$' -benchtime 2x . | tee bench.txt
-//	go run ./scripts/benchguard -baseline BENCH_pr9.json -bench bench.txt
+//	go run ./scripts/benchguard -gate dirty-fraction -baseline BENCH_pr9.json -bench bench.txt
 //
-// Two checks per layout (heap-block and paged-VDS):
+//	go test -bench RecoveryLatency -run '^$' -benchtime 1x . | tee bench.txt
+//	go run ./scripts/benchguard -gate recovery -baseline BENCH_pr10.json -bench bench.txt
+//
+// dirty-fraction checks per layout (heap-block and paged-VDS) at 10% dirty:
 //
 //   - copied-B/ckpt of the incremental variant must not exceed the
 //     baseline by more than the threshold. Copy volume is deterministic
@@ -17,6 +21,18 @@
 //     the ratio rather than absolute nanoseconds keeps the gate
 //     meaningful on CI runners faster or slower than the machine that
 //     recorded the baseline.
+//
+// recovery checks every BenchmarkRecoveryLatency cell with world >= 64
+// (at world=8 the dead rank's fixed state re-read dominates the
+// per-survivor average, so the asymptotic shape is invisible):
+//
+//   - reads/survivor must not exceed the baseline by more than the
+//     threshold. Localized recovery keeps this O(1); a return to
+//     every-rank-scans-every-rank metadata reads is O(world) per
+//     survivor and blows the limit by orders of magnitude.
+//   - reads/recovery likewise. Store reads on the simulated substrate
+//     are deterministic given the seed, so both are tight gates;
+//     wall-clock recover-ms is machine-dependent and not gated.
 package main
 
 import (
@@ -26,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,11 +52,17 @@ type entry struct {
 	CopiedB   float64 `json:"copied_B_per_ckpt"`
 }
 
+type recoveryEntry struct {
+	ReadsPerSurvivor float64 `json:"reads_per_survivor"`
+	ReadsPerRecovery float64 `json:"reads_per_recovery"`
+}
+
 type baseline struct {
 	DirtyFraction struct {
 		Full map[string]entry `json:"full_freeze"`
 		Incr map[string]entry `json:"incremental"`
 	} `json:"checkpoint_dirty_fraction"`
+	Recovery map[string]recoveryEntry `json:"recovery_latency"`
 }
 
 // pairs of (full variant, incremental variant) guarded at 10% dirty.
@@ -48,11 +71,12 @@ var guarded = [][2]string{
 	{"full-vds", "incr-vds"},
 }
 
-const benchPrefix = "BenchmarkCheckpointDirtyFraction/state=16384KB/dirty=10%/"
+const dirtyPrefix = "BenchmarkCheckpointDirtyFraction/state=16384KB/dirty=10%/"
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
+	gate := flag.String("gate", "dirty-fraction", "which gate to run: dirty-fraction or recovery")
 	basePath := flag.String("baseline", "BENCH_pr9.json", "committed baseline JSON")
 	benchPath := flag.String("bench", "", "go test -bench output to check (required)")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression")
@@ -73,45 +97,61 @@ func main() {
 		os.Exit(2)
 	}
 
-	fresh, err := parseBench(*benchPath)
+	var failed bool
+	switch *gate {
+	case "dirty-fraction":
+		failed = gateDirtyFraction(base, *benchPath, *threshold)
+	case "recovery":
+		failed = gateRecovery(base, *basePath, *benchPath, *threshold)
+	default:
+		fmt.Fprintf(os.Stderr, "benchguard: unknown -gate %q (want dirty-fraction or recovery)\n", *gate)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: all %s checks within threshold\n", *gate)
+}
+
+func gateDirtyFraction(base baseline, benchPath string, threshold float64) bool {
+	fresh, err := parseBench(benchPath, "BenchmarkCheckpointDirtyFraction/")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-
 	failed := false
 	for _, pair := range guarded {
-		fullName, incrName := benchPrefix+pair[0], benchPrefix+pair[1]
+		fullName, incrName := dirtyPrefix+pair[0], dirtyPrefix+pair[1]
 		fullFresh, ok1 := fresh[fullName]
 		incrFresh, ok2 := fresh[incrName]
 		if !ok1 || !ok2 {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: variants missing from %s (want %s and %s)\n",
-				pair[1], *benchPath, fullName, incrName)
+				pair[1], benchPath, fullName, incrName)
 			failed = true
 			continue
 		}
 		fullBase, ok1 := base.DirtyFraction.Full[fullName]
 		incrBase, ok2 := base.DirtyFraction.Incr[incrName]
 		if !ok1 || !ok2 {
-			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: variants missing from baseline %s\n", pair[1], *basePath)
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: variants missing from baseline\n", pair[1])
 			failed = true
 			continue
 		}
 
 		// Deterministic copy volume: any growth is a tracking regression.
-		copyLimit := incrBase.CopiedB * (1 + *threshold)
-		if incrFresh.CopiedB > copyLimit {
+		copyLimit := incrBase.CopiedB * (1 + threshold)
+		if v := incrFresh["copied-B/ckpt"]; v > copyLimit {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s copied-B/ckpt = %.0f, baseline %.0f (limit %.0f): dirty tracking copies more than it used to\n",
-				pair[1], incrFresh.CopiedB, incrBase.CopiedB, copyLimit)
+				pair[1], v, incrBase.CopiedB, copyLimit)
 			failed = true
 		} else {
-			fmt.Printf("benchguard: ok   %s copied-B/ckpt %.0f <= %.0f\n", pair[1], incrFresh.CopiedB, copyLimit)
+			fmt.Printf("benchguard: ok   %s copied-B/ckpt %.0f <= %.0f\n", pair[1], v, copyLimit)
 		}
 
 		// Machine-normalized blocked time: incremental/full ratio.
 		baseRatio := incrBase.BlockedNs / fullBase.BlockedNs
-		freshRatio := incrFresh.BlockedNs / fullFresh.BlockedNs
-		ratioLimit := baseRatio * (1 + *threshold)
+		freshRatio := incrFresh["blocked-ns/ckpt"] / fullFresh["blocked-ns/ckpt"]
+		ratioLimit := baseRatio * (1 + threshold)
 		if freshRatio > ratioLimit {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s blocked-ns ratio vs %s = %.3f, baseline %.3f (limit %.3f): the incremental freeze blocks relatively longer than the baseline\n",
 				pair[1], pair[0], freshRatio, baseRatio, ratioLimit)
@@ -120,53 +160,109 @@ func main() {
 			fmt.Printf("benchguard: ok   %s/%s blocked-ns ratio %.3f <= %.3f\n", pair[1], pair[0], freshRatio, ratioLimit)
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
-	fmt.Println("benchguard: all dirty-fraction checks within threshold")
+	return failed
 }
 
-// parseBench extracts per-benchmark metrics from `go test -bench` output,
-// keeping the best (minimum) value of each metric across -count repeats.
-func parseBench(path string) (map[string]entry, error) {
+// worldPat extracts the world size from a RecoveryLatency cell name.
+var worldPat = regexp.MustCompile(`world=(\d+)`)
+
+func gateRecovery(base baseline, basePath, benchPath string, threshold float64) bool {
+	fresh, err := parseBench(benchPath, "BenchmarkRecoveryLatency/")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base.Recovery) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline %s has no recovery_latency section\n", basePath)
+		os.Exit(2)
+	}
+	names := make([]string, 0, len(base.Recovery))
+	for name := range base.Recovery {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	checked := 0
+	for _, name := range names {
+		m := worldPat.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		if world, _ := strconv.Atoi(m[1]); world < 64 {
+			continue // tiny worlds: the dead rank's fixed reads dominate the average
+		}
+		b := base.Recovery[name]
+		f, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s missing from %s\n", name, benchPath)
+			failed = true
+			continue
+		}
+		checked++
+		for _, metric := range []struct {
+			unit string
+			base float64
+		}{
+			{"reads/survivor", b.ReadsPerSurvivor},
+			{"reads/recovery", b.ReadsPerRecovery},
+		} {
+			limit := metric.base * (1 + threshold)
+			if v := f[metric.unit]; v > limit {
+				fmt.Fprintf(os.Stderr, "benchguard: FAIL %s %s = %.3f, baseline %.3f (limit %.3f): recovery touches the store more than the localized baseline\n",
+					name, metric.unit, v, metric.base, limit)
+				failed = true
+			} else {
+				fmt.Printf("benchguard: ok   %s %s %.3f <= %.3f\n", name, metric.unit, f[metric.unit], limit)
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no gated recovery cells found (baseline %s vs %s)\n", basePath, benchPath)
+		os.Exit(2)
+	}
+	return failed
+}
+
+// parseBench extracts per-benchmark metrics from `go test -bench` output
+// lines whose name starts with prefix, keeping the best (minimum) value
+// of each metric across -count repeats.
+func parseBench(path, prefix string) (map[string]map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]entry)
+	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkCheckpointDirtyFraction/") {
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], prefix) {
 			continue
 		}
 		name := procSuffix.ReplaceAllString(fields[0], "")
-		e, seen := out[name]
+		e := out[name]
+		if e == nil {
+			e = make(map[string]float64)
+			out[name] = e
+		}
 		// Metrics are (value, unit) pairs after the iteration count.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
-			case "blocked-ns/ckpt":
-				if !seen || v < e.BlockedNs {
-					e.BlockedNs = v
-				}
-			case "copied-B/ckpt":
-				if !seen || v < e.CopiedB {
-					e.CopiedB = v
-				}
+			unit := fields[i+1]
+			if old, seen := e[unit]; !seen || v < old {
+				e[unit] = v
 			}
 		}
-		out[name] = e
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("no BenchmarkCheckpointDirtyFraction lines in %s", path)
+		return nil, fmt.Errorf("no %s lines in %s", prefix, path)
 	}
 	return out, nil
 }

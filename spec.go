@@ -251,6 +251,19 @@ func WithDistributed(d Distributed) Option {
 	return func(s *Spec) { s.distributed = &d }
 }
 
+// WithWholeWorldRestart disables localized recovery, restoring the
+// pre-localized whole-world behaviour: after a death every rank re-reads
+// its checkpoint from the stable store (instead of survivors rolling back
+// from their in-memory retained copy), and on the distributed substrate
+// the launcher tears down the surviving worker processes and re-execs the
+// entire incarnation instead of respawning only the dead ranks. Kept as a
+// fallback and for A/B measurement of recovery cost; recovery semantics
+// (which epoch is restored, the recovered output) are identical either
+// way.
+func WithWholeWorldRestart() Option {
+	return func(s *Spec) { s.cfg.WholeWorldRestart = true }
+}
+
 // WithMetricsAddr exposes the run's live counters at
 // http://<addr>/metrics in Prometheus text exposition format for the
 // duration of the Launch, on either substrate (on the distributed
